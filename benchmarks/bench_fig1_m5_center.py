@@ -1,0 +1,72 @@
+"""Figure 1 -- matrix M5 (Emilia_923 analogue), failures at the center.
+
+Runtimes and relative overhead of the resilient solver for phi in {1, 3, 8}
+copies: failure-free runs (blue boxes in the paper) next to runs with
+psi = phi simultaneous node failures introduced close to the center of the
+vector (orange boxes), against the reference-time band.
+
+Paper's observation for M5: reconstruction takes very little time -- the
+boxes with failures sit almost on top of the failure-free boxes, and the
+overhead comes almost entirely from the extra redundancy communication.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import make_config
+from repro.failures import FailureLocation
+from repro.harness import figure_series, run_matrix_study
+
+
+@pytest.fixture(scope="module")
+def study(bench_settings):
+    config = make_config(bench_settings, "M5")
+    return run_matrix_study(
+        config, phis=bench_settings.phis,
+        locations=(FailureLocation.CENTER,),
+        fractions=bench_settings.fractions,
+    )
+
+
+def test_figure1_report(benchmark, study, bench_settings, capsys):
+    series = benchmark.pedantic(figure_series, args=(study, FailureLocation.CENTER),
+                                rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(series.render())
+        print(f"[settings: {bench_settings.describe()}]")
+    phis = series.phis()
+    # overheads are modest and grow with phi (M5 is a favourable, wide-band case)
+    overheads = [series.relative_overhead(phi) for phi in phis]
+    assert all(o > -0.1 for o in overheads)
+    assert overheads[-1] >= overheads[0] - 0.05
+    # Reconstruction is cheap in absolute terms for M5; note that relative to
+    # t0 it is inflated at benchmark scale because the scaled-down analogue
+    # converges in far fewer iterations than the real matrix (see
+    # EXPERIMENTS.md), so only a loose sanity bound is asserted here.
+    for phi in phis:
+        undisturbed = series.undisturbed[phi].median
+        disturbed = series.with_failures[phi].median
+        assert disturbed >= undisturbed * 0.8
+        recon_mean, _ = study.reconstruction_time(phi, "center")
+        assert 0.0 < recon_mean < 400.0  # percent of t0
+
+
+def test_benchmark_m5_failure_run(benchmark, study, bench_settings):
+    """Time one M5 run with the maximum tolerated number of failures."""
+    from repro.core.api import distribute_problem, resilient_solve
+    from repro.matrices import build_matrix
+
+    phi = max(bench_settings.phis)
+    matrix = build_matrix("M5", n=bench_settings.matrix_size, seed=0)
+    failed = list(range(bench_settings.n_nodes // 2,
+                        bench_settings.n_nodes // 2 + phi))
+
+    def run():
+        problem = distribute_problem(matrix, n_nodes=bench_settings.n_nodes)
+        return resilient_solve(problem, phi=phi, preconditioner="block_jacobi",
+                               failures=[(5, failed)])
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.converged

@@ -1,0 +1,56 @@
+"""Table 3 -- relative residual deviation (Eqn. 7) after convergence.
+
+For every configured matrix: the largest relative deviation between the
+solver residual and the true residual ``b - A x`` over all failure
+experiments (``max Delta_ESR``) next to the deviation of the reference PCG
+run (``Delta_PCG``).  The paper finds both to be tiny compared to the 1e-8
+residual reduction (1e-8 ... 1e-3 range), i.e. the reconstruction does not
+meaningfully degrade the solution accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import make_config
+from repro.failures import FailureLocation
+from repro.harness import render_table3, run_matrix_study, table3_rows
+
+
+@pytest.fixture(scope="module")
+def studies(bench_settings):
+    out = []
+    for matrix_id in bench_settings.matrices:
+        config = make_config(bench_settings, matrix_id)
+        out.append(run_matrix_study(
+            config,
+            phis=(max(bench_settings.phis),),
+            locations=(FailureLocation.CENTER,),
+            fractions=bench_settings.fractions,
+        ))
+    return out
+
+
+def test_table3_report(benchmark, studies, bench_settings, capsys):
+    with capsys.disabled():
+        print()
+        print(render_table3(studies))
+        print(f"[settings: {bench_settings.describe()}]")
+    rows = benchmark.pedantic(table3_rows, args=(studies,), rounds=1, iterations=1)
+    for row in rows:
+        # Both deviations exist and are small compared to the 1e-8 reduction
+        # of the residual norm (the paper's observation).
+        assert np.isfinite(row["max_delta_esr"])
+        assert np.isfinite(row["delta_pcg"])
+        assert abs(row["max_delta_esr"]) < 1e-2
+        assert abs(row["delta_pcg"]) < 1e-2
+
+
+def test_benchmark_deviation_evaluation(benchmark, studies):
+    """Time the metric evaluation itself (cheap, but part of the pipeline)."""
+    def evaluate():
+        return table3_rows(studies)
+
+    rows = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    assert len(rows) == len(studies)

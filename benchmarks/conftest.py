@@ -1,0 +1,97 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(Sec. 7) on scaled-down synthetic analogues of the SuiteSparse matrices.  The
+scale is controlled by environment variables so the same harness can run as a
+quick smoke benchmark (default) or as a longer, closer-to-the-paper study:
+
+``REPRO_BENCH_N``          target matrix size (default 2500)
+``REPRO_BENCH_NODES``      virtual cluster size (default 16)
+``REPRO_BENCH_REPS``       repetitions per configuration (default 2; paper >= 5)
+``REPRO_BENCH_MATRICES``   comma-separated matrix ids for Tables 2/3
+                           (default "M1,M3,M5,M8"; use "all" for M1-M8)
+``REPRO_BENCH_FRACTIONS``  comma-separated progress fractions (default "0.5";
+                           the paper uses 0.2,0.5,0.8)
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Tuple
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:  # pragma: no cover
+        sys.path.insert(0, str(_SRC))
+
+from repro.matrices.suite import matrix_ids  # noqa: E402
+
+
+@dataclass(frozen=True)
+class BenchSettings:
+    """Resolved benchmark-scale settings."""
+
+    matrix_size: int
+    n_nodes: int
+    repetitions: int
+    matrices: Tuple[str, ...]
+    fractions: Tuple[float, ...]
+    phis: Tuple[int, ...]
+
+    def describe(self) -> str:
+        return (
+            f"n~{self.matrix_size}, N={self.n_nodes}, reps={self.repetitions}, "
+            f"matrices={','.join(self.matrices)}, phis={self.phis}, "
+            f"fractions={self.fractions}"
+        )
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+def _env_list(name: str, default: str) -> List[str]:
+    raw = os.environ.get(name, default)
+    return [item.strip() for item in raw.split(",") if item.strip()]
+
+
+@pytest.fixture(scope="session")
+def bench_settings() -> BenchSettings:
+    matrices = _env_list("REPRO_BENCH_MATRICES", "M1,M3,M5,M8")
+    if matrices == ["all"]:
+        matrices = matrix_ids()
+    fractions = tuple(float(f) for f in _env_list("REPRO_BENCH_FRACTIONS", "0.5"))
+    n_nodes = _env_int("REPRO_BENCH_NODES", 16)
+    phis = (1, 3, 8) if n_nodes > 8 else (1, 2, 3)
+    return BenchSettings(
+        matrix_size=_env_int("REPRO_BENCH_N", 2500),
+        n_nodes=n_nodes,
+        repetitions=_env_int("REPRO_BENCH_REPS", 2),
+        matrices=tuple(matrices),
+        fractions=fractions,
+        phis=phis,
+    )
+
+
+def make_config(settings: BenchSettings, matrix_id: str, **overrides):
+    """Build an :class:`ExperimentConfig` at benchmark scale."""
+    from repro.harness import ExperimentConfig
+
+    kwargs = dict(
+        matrix_id=matrix_id,
+        matrix_size=settings.matrix_size,
+        n_nodes=settings.n_nodes,
+        repetitions=settings.repetitions,
+        preconditioner="block_jacobi",
+        jitter_rel_std=0.02,
+        seed=0,
+    )
+    kwargs.update(overrides)
+    return ExperimentConfig(**kwargs)

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Overlapping node failures: a second failure strikes during recovery.
+
+Sec. 4.1 of the paper distinguishes *simultaneous* failures (several nodes die
+at once, e.g. a switch outage) from *overlapping* failures (another node dies
+while the reconstruction of a previous failure is still running).  The ESR
+scheme handles both as long as the total number of failures within one
+recovery episode stays within phi: the reconstruction simply restarts with
+the enlarged failed set.
+
+This example injects a 2-node failure at 40 % progress and a third failure
+that overlaps with its recovery, then shows the recovery report.
+
+Run with:  python examples/overlapping_failures.py
+"""
+
+import numpy as np
+
+import repro
+from repro.cluster import FailureEvent, FailureInjector
+from repro.core.resilient_pcg import ResilientPCG
+from repro.precond import make_preconditioner
+
+
+def main() -> None:
+    matrix = repro.matrices.poisson_2d(50)            # n = 2500
+    problem = repro.distribute_problem(matrix, n_nodes=10, seed=0)
+
+    reference = repro.reference_solve(
+        repro.distribute_problem(matrix, n_nodes=10, seed=1),
+        preconditioner="block_jacobi",
+    )
+    failure_iteration = max(1, int(0.4 * reference.iterations))
+    print(f"reference run: {reference.summary()}")
+    print(f"injecting failures at iteration {failure_iteration}")
+
+    # Event 0: ranks 4 and 5 fail simultaneously.
+    # Event 1: rank 7 fails while the recovery of event 0 is running.
+    injector = FailureInjector([
+        FailureEvent(failure_iteration, (4, 5), label="switch outage"),
+        FailureEvent(failure_iteration, (7,), during_recovery_of=0,
+                     label="overlapping failure"),
+    ])
+
+    preconditioner = make_preconditioner("block_jacobi")
+    preconditioner.setup(problem.matrix.to_global(), problem.partition)
+    solver = ResilientPCG(
+        problem.matrix, problem.rhs, preconditioner,
+        phi=3,                       # enough copies for all three failures
+        failure_injector=injector,
+        context=problem.context,
+    )
+    result = solver.solve()
+
+    print(f"\nresilient run: {result.summary()}")
+    for report in result.recoveries:
+        print("recovery episode:")
+        print(f"  failed ranks          : {report.failed_ranks}")
+        print(f"  reconstruction restarts: {report.restarts}")
+        print(f"  reconstruction form    : {report.reconstruction_form}")
+        print(f"  simulated recovery time: {report.simulated_time * 1e3:.2f} ms")
+        for note in report.notes:
+            print(f"  note: {note}")
+
+    difference = np.linalg.norm(result.x - reference.x) / np.linalg.norm(reference.x)
+    print(f"\nrelative solution difference vs. reference: {difference:.2e}")
+    print("The overlapping failure forced one reconstruction restart, but the "
+          "solver still recovered the exact state\nand converged in (nearly) "
+          "the same number of iterations as the failure-free run.")
+
+
+if __name__ == "__main__":
+    main()

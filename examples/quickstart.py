@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: protect a PCG solve against node failures with ESR.
+
+Builds a small SPD system (2-D Poisson), distributes it over a virtual
+8-node cluster, and solves it twice:
+
+* once with the plain (non-resilient) distributed PCG solver, and
+* once with the ESR-protected solver keeping phi = 3 redundant copies, while
+  three nodes fail simultaneously halfway through the solve.
+
+Both runs converge to the same solution; the resilient run reports the
+simulated-time overhead of the redundancy and of the reconstruction.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro
+
+
+def main() -> None:
+    # 1. An SPD test problem: 60 x 60 Poisson grid (n = 3600 unknowns).
+    matrix = repro.matrices.poisson_2d(60)
+    rhs = matrix @ np.ones(matrix.shape[0])          # exact solution = ones
+
+    # 2. Reference run: plain distributed PCG on 8 virtual nodes.
+    problem = repro.distribute_problem(matrix, rhs, n_nodes=8, seed=0)
+    reference = repro.reference_solve(problem, preconditioner="block_jacobi")
+    print("reference PCG   :", reference.summary())
+    print(f"  simulated time: {reference.simulated_time * 1e3:.2f} ms")
+
+    # 3. Resilient run: phi = 3 redundant copies, three nodes fail at
+    #    iteration 20 (they lose all their dynamic data and are replaced).
+    problem = repro.distribute_problem(matrix, rhs, n_nodes=8, seed=1)
+    resilient = repro.resilient_solve(
+        problem,
+        phi=3,
+        preconditioner="block_jacobi",
+        failures=[(20, [3, 4, 5])],
+    )
+    print("resilient PCG   :", resilient.summary())
+    print(f"  simulated time: {resilient.simulated_time * 1e3:.2f} ms "
+          f"(recovery: {resilient.simulated_recovery_time * 1e3:.2f} ms)")
+    print(f"  failures recovered: {resilient.n_failures_recovered}")
+
+    # 4. The recovered run reaches the same solution as the reference run.
+    difference = np.linalg.norm(resilient.x - reference.x) / np.linalg.norm(reference.x)
+    overhead = (resilient.simulated_time - reference.simulated_time) \
+        / reference.simulated_time
+    print(f"relative solution difference: {difference:.2e}")
+    print(f"total overhead vs. reference: {overhead:.1%}")
+    print(f"residual deviation (Eqn. 7): "
+          f"{repro.core.residual_difference_of(resilient):+.2e}")
+
+
+if __name__ == "__main__":
+    main()

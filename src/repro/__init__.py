@@ -1,0 +1,92 @@
+"""repro -- Resilient preconditioned conjugate gradient solvers.
+
+A reproduction of *"How to Make the Preconditioned Conjugate Gradient Method
+Resilient Against Multiple Node Failures"* (Pachajoa, Levonyak, Gansterer,
+Träff; ICPP 2019): the exact state reconstruction (ESR) approach extended to
+tolerate multiple simultaneous or overlapping node failures, together with
+every substrate needed to run and evaluate it on a single machine -- a
+simulated distributed-memory cluster with fail-stop node failures and a
+latency-bandwidth cost model, block-row distributed sparse linear algebra,
+preconditioners, baselines, synthetic analogues of the paper's test matrices,
+and a benchmark harness that regenerates each table and figure of the paper's
+evaluation.
+
+Quickstart
+----------
+>>> import repro
+>>> a = repro.matrices.poisson_2d(48)              # SPD test matrix
+>>> problem = repro.distribute_problem(a, n_nodes=8)
+>>> result = repro.resilient_solve(
+...     problem, phi=3, preconditioner="block_jacobi",
+...     failures=[(20, [2, 3, 4])],                # 3 nodes fail at iteration 20
+... )
+>>> result.converged
+True
+"""
+
+from . import analysis  # noqa: F401  (re-exported subpackages)
+from . import baselines  # noqa: F401
+from . import cluster  # noqa: F401
+from . import core  # noqa: F401
+from . import distributed  # noqa: F401
+from . import failures  # noqa: F401
+from . import harness  # noqa: F401
+from . import matrices  # noqa: F401
+from . import precond  # noqa: F401
+from . import solvers  # noqa: F401
+from . import utils  # noqa: F401
+from .cluster import (
+    FailureEvent,
+    FailureInjector,
+    MachineModel,
+    VirtualCluster,
+)
+from .core import (
+    BackupPlacement,
+    DistributedPCG,
+    DistributedProblem,
+    DistributedSolveResult,
+    ESRProtocol,
+    ESRReconstructor,
+    RecoveryReport,
+    RedundancyScheme,
+    ResilientPCG,
+    distribute_problem,
+    reference_solve,
+    resilient_solve,
+    solve_with_failures,
+)
+from .failures import FailureLocation, FailureScenario
+from .precond import make_preconditioner
+from .solvers import SolveResult, pcg
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # substrates
+    "VirtualCluster",
+    "MachineModel",
+    "FailureEvent",
+    "FailureInjector",
+    # core API
+    "DistributedPCG",
+    "ResilientPCG",
+    "DistributedSolveResult",
+    "DistributedProblem",
+    "ESRProtocol",
+    "ESRReconstructor",
+    "RecoveryReport",
+    "RedundancyScheme",
+    "BackupPlacement",
+    "distribute_problem",
+    "reference_solve",
+    "resilient_solve",
+    "solve_with_failures",
+    # scenarios / helpers
+    "FailureScenario",
+    "FailureLocation",
+    "make_preconditioner",
+    "SolveResult",
+    "pcg",
+]

@@ -1,0 +1,31 @@
+"""Communication-overhead and sparsity-pattern analysis (Secs. 4.2 and 5).
+
+Populated by :mod:`repro.analysis.overhead` and
+:mod:`repro.analysis.sparsity`.
+"""
+
+from .overhead import (
+    OverheadAnalysis,
+    analyze_overhead,
+    overhead_bounds,
+    per_round_extras,
+)
+from .sparsity import (
+    SparsityReport,
+    band_condition_holds,
+    multiplicity_histogram,
+    natural_coverage_fraction,
+    sparsity_report,
+)
+
+__all__ = [
+    "OverheadAnalysis",
+    "analyze_overhead",
+    "overhead_bounds",
+    "per_round_extras",
+    "SparsityReport",
+    "sparsity_report",
+    "multiplicity_histogram",
+    "natural_coverage_fraction",
+    "band_condition_holds",
+]

@@ -1,0 +1,148 @@
+"""Communication-overhead analysis of the redundancy scheme (Sec. 4.2).
+
+The paper bounds the per-iteration overhead ``O`` of distributing ``phi``
+redundant copies of the search direction by
+
+``0 <= max_i sum_k |R^c_ik| mu <= O <= phi * (lambda_max + ceil(n/N) * mu)``
+
+where the lower end is reached when every extra element piggybacks on an SpMV
+message and the upper end corresponds to completely unshared, full-block
+messages in every round.  :func:`analyze_overhead` evaluates the exact
+per-round quantities for a given matrix/partition/phi and checks where the
+scheme lands inside those bounds; the ``A3`` benchmark uses it to validate
+the cost model against the analytic expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..cluster.cost_model import MachineModel
+from ..cluster.network import Topology, UniformTopology
+from ..core.redundancy import BackupPlacement, RedundancyScheme
+from ..distributed.comm_context import CommunicationContext
+from ..distributed.dmatrix import DistributedMatrix
+
+
+@dataclass
+class OverheadAnalysis:
+    """Result of :func:`analyze_overhead` for one (matrix, N, phi) setting."""
+
+    phi: int
+    n_nodes: int
+    block_size_max: int
+    #: ``max_i |R^c_ik|`` per round k.
+    max_extras_per_round: List[int]
+    #: Total extra elements shipped per iteration (all nodes, all rounds).
+    total_extra_elements: int
+    #: Number of extra messages per iteration that cannot piggyback on SpMV.
+    extra_messages: int
+    #: Simulated per-iteration redundancy time.
+    per_iteration_time: float
+    #: Sec. 4.2 lower bound on the per-iteration overhead.
+    lower_bound: float
+    #: Sec. 4.2 upper bound on the per-iteration overhead.
+    upper_bound: float
+    #: Fraction of elements that already have >= phi natural copies.
+    natural_coverage: float
+    #: Baseline per-iteration halo traffic (elements), for relative comparisons.
+    halo_elements: int
+    per_owner_extras: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def within_bounds(self) -> bool:
+        """Whether the modelled overhead respects the analytic bounds."""
+        eps = 1e-12
+        return (self.lower_bound - eps) <= self.per_iteration_time \
+            <= (self.upper_bound + eps)
+
+    @property
+    def relative_extra_traffic(self) -> float:
+        """Extra redundancy elements relative to the natural halo traffic."""
+        if self.halo_elements == 0:
+            return float("inf") if self.total_extra_elements else 0.0
+        return self.total_extra_elements / self.halo_elements
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "phi": self.phi,
+            "n_nodes": self.n_nodes,
+            "max_extras_per_round": list(self.max_extras_per_round),
+            "total_extra_elements": self.total_extra_elements,
+            "extra_messages": self.extra_messages,
+            "per_iteration_time": self.per_iteration_time,
+            "lower_bound": self.lower_bound,
+            "upper_bound": self.upper_bound,
+            "within_bounds": self.within_bounds,
+            "natural_coverage": self.natural_coverage,
+            "halo_elements": self.halo_elements,
+        }
+
+
+def per_round_extras(scheme: RedundancyScheme) -> List[int]:
+    """``max_i |R^c_ik|`` for each round ``k`` (Sec. 4.2)."""
+    return scheme.max_extra_per_round()
+
+
+def overhead_bounds(scheme: RedundancyScheme, topology: Topology,
+                    model: MachineModel) -> Tuple[float, float]:
+    """The Sec. 4.2 lower/upper bounds on the per-iteration overhead."""
+    return scheme.overhead_bounds(topology, model)
+
+
+def analyze_overhead(matrix: DistributedMatrix, phi: int, *,
+                     placement: BackupPlacement = BackupPlacement.PAPER,
+                     topology: Optional[Topology] = None,
+                     model: Optional[MachineModel] = None,
+                     context: Optional[CommunicationContext] = None,
+                     scheme: Optional[RedundancyScheme] = None
+                     ) -> OverheadAnalysis:
+    """Full Sec. 4.2-style analysis for one distributed matrix and ``phi``."""
+    context = context if context is not None else \
+        CommunicationContext.from_matrix(matrix)
+    scheme = scheme if scheme is not None else RedundancyScheme(
+        context, phi, placement=placement
+    )
+    topology = topology if topology is not None else matrix.cluster.topology
+    model = model if model is not None else matrix.cluster.machine
+
+    n_nodes = matrix.partition.n_parts
+    lower, upper = scheme.overhead_bounds(topology, model)
+    messages, elements = scheme.extra_traffic_per_iteration()
+    per_iteration_time = scheme.per_iteration_overhead_time(topology, model)
+
+    total_elements = matrix.partition.n
+    covered = sum(
+        context.natural_copy_count(owner, phi) for owner in range(n_nodes)
+    )
+    per_owner = {
+        owner: scheme.owner(owner).total_extra for owner in range(n_nodes)
+    }
+    return OverheadAnalysis(
+        phi=phi,
+        n_nodes=n_nodes,
+        block_size_max=matrix.partition.max_block_size(),
+        max_extras_per_round=per_round_extras(scheme),
+        total_extra_elements=scheme.total_extra_elements(),
+        extra_messages=messages,
+        per_iteration_time=per_iteration_time,
+        lower_bound=lower,
+        upper_bound=upper,
+        natural_coverage=covered / total_elements if total_elements else 1.0,
+        halo_elements=context.total_exchanged_elements(),
+        per_owner_extras=per_owner,
+    )
+
+
+def overhead_sweep(matrix: DistributedMatrix, phis,
+                   placement: BackupPlacement = BackupPlacement.PAPER
+                   ) -> List[OverheadAnalysis]:
+    """Analyse several redundancy levels on the same matrix (Fig. 3 style)."""
+    context = CommunicationContext.from_matrix(matrix)
+    return [
+        analyze_overhead(matrix, int(phi), placement=placement, context=context)
+        for phi in phis
+    ]

@@ -1,0 +1,18 @@
+"""Baseline fault-tolerance strategies the ESR approach is compared against."""
+
+from .checkpoint_restart import CheckpointConfig, CheckpointRestartPCG
+from .interpolation import (
+    InterpolationRecoveryPCG,
+    least_squares_interpolation,
+    local_interpolation,
+)
+from .restart import FullRestartPCG
+
+__all__ = [
+    "CheckpointRestartPCG",
+    "CheckpointConfig",
+    "InterpolationRecoveryPCG",
+    "local_interpolation",
+    "least_squares_interpolation",
+    "FullRestartPCG",
+]

@@ -1,0 +1,97 @@
+"""Shared machinery for the baseline recovery strategies.
+
+Every baseline (checkpoint/restart, interpolation/restart, full restart) has
+to perform the same bookkeeping when nodes fail: trigger the due events of
+the failure schedule, install replacement nodes through the ULFM runtime, and
+re-retrieve the *static* data (matrix row blocks, right-hand-side blocks) from
+reliable storage -- only the treatment of the *dynamic* solver state differs
+between strategies.  :class:`FailureHandlingMixin` factors out the common
+part so the baselines stay small and directly comparable to the ESR solver.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..cluster.failure import FailureInjector
+from ..utils.logging import get_logger
+
+logger = get_logger("baselines")
+
+
+class FailureHandlingMixin:
+    """Mixin for :class:`~repro.core.pcg.DistributedPCG` subclasses.
+
+    Expects the host class to provide ``cluster``, ``matrix``, ``rhs``,
+    ``partition`` and a ``failure_injector`` attribute.
+    """
+
+    failure_injector: Optional[FailureInjector]
+
+    # -- event handling ---------------------------------------------------------
+    def _trigger_due_failures(self, iteration: int) -> List[int]:
+        """Fire all failure events due at *iteration*; return the failed ranks.
+
+        Overlapping events (``during_recovery_of``) are folded into the same
+        failure set: the baseline strategies have no notion of a restartable
+        reconstruction, so an overlapping failure simply behaves like an
+        additional simultaneous failure.
+        """
+        if self.failure_injector is None:
+            return []
+        failed: List[int] = []
+        for overlapping in (False, True):
+            due = self.failure_injector.events_due(iteration, overlapping=overlapping)
+            if overlapping and not failed:
+                # Overlap events only make sense if a primary event fired.
+                continue
+            for idx, event in due:
+                self.failure_injector.trigger(idx, self.cluster.nodes)
+                failed.extend(event.ranks)
+        if failed:
+            newly = self.cluster.ulfm.detect_failures()
+            failed = sorted(set(failed) | set(newly))
+            self.cluster.comm.drop_messages_to_failed()
+            logger.info("iteration %d: failure of ranks %s", iteration, failed)
+        return failed
+
+    # -- static data restoration -----------------------------------------------------
+    def _rhs_storage_name(self) -> str:
+        return f"rhs:{self.rhs.name}"
+
+    def _ensure_rhs_stored(self) -> None:
+        """Deposit the right-hand side blocks in reliable storage (setup phase)."""
+        for rank in range(self.partition.n_parts):
+            key = (self._rhs_storage_name(), rank)
+            if key not in self.cluster.storage:
+                self.cluster.storage.put(key, self.rhs.get_block(rank).copy())
+
+    def _install_replacements(self, failed_ranks: List[int]) -> None:
+        """Provide replacement nodes and restore the static data they own."""
+        still_failed = [r for r in failed_ranks if self.cluster.node(r).is_failed]
+        if still_failed:
+            self.cluster.ulfm.notify_survivors(still_failed)
+            self.cluster.replace_nodes(still_failed)
+        for rank in failed_ranks:
+            self.matrix.restore_block_to_node(rank, charge=True)
+            block = self.cluster.storage.retrieve(
+                (self._rhs_storage_name(), rank), charge=True
+            )
+            self.rhs.set_block(rank, np.array(block, copy=True))
+        self._reinitialize_lost_blocks(failed_ranks)
+
+    def _reinitialize_lost_blocks(self, failed_ranks: List[int]) -> None:
+        """Create zero blocks of the dynamic work vectors on replacement nodes.
+
+        The baseline strategies overwrite these with their own recovered
+        values (checkpoint data, interpolated iterate, or a fresh start), but
+        the blocks must exist before any in-place vector operation touches
+        them.
+        """
+        for rank in failed_ranks:
+            size = self.partition.size_of(rank)
+            for vec in (self.x, self.r, self.z, self.p, self.ap):
+                if vec is not None and not vec.has_block(rank):
+                    vec.set_block(rank, np.zeros(size))

@@ -1,0 +1,76 @@
+"""Full-restart baseline: start over from the initial guess after a failure.
+
+The crudest possible recovery: no redundant data, no interpolation -- after a
+node failure the solver simply restores the static data on the replacement
+nodes and restarts PCG from the initial guess (zero).  All progress is lost,
+which makes this the natural lower bound every smarter strategy is measured
+against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cluster.failure import FailureInjector
+from ..core.pcg import DistributedPCG
+from ..distributed.comm_context import CommunicationContext
+from ..distributed.dmatrix import DistributedMatrix
+from ..distributed.dvector import DistributedVector
+from ..precond.base import Preconditioner
+from ..utils.logging import get_logger
+from .recovery_base import FailureHandlingMixin
+
+logger = get_logger("baselines.restart")
+
+
+class FullRestartPCG(FailureHandlingMixin, DistributedPCG):
+    """PCG that restarts from scratch whenever nodes fail."""
+
+    vector_prefix = "restart_pcg"
+
+    def __init__(self, matrix: DistributedMatrix, rhs: DistributedVector,
+                 preconditioner: Optional[Preconditioner] = None, *,
+                 failure_injector: Optional[FailureInjector] = None,
+                 rtol: float = 1e-8, atol: float = 0.0,
+                 max_iterations: Optional[int] = None,
+                 context: Optional[CommunicationContext] = None):
+        super().__init__(matrix, rhs, preconditioner, rtol=rtol, atol=atol,
+                         max_iterations=max_iterations, context=context)
+        self.failure_injector = failure_injector
+        self.restarts = 0
+        self.iterations_lost = 0
+        self._ensure_rhs_stored()
+
+    def _handle_failures(self, iteration: int) -> bool:
+        failed = self._trigger_due_failures(iteration)
+        if not failed:
+            return False
+        self._install_replacements(failed)
+        self._restart_from_scratch()
+        logger.info("restarting from scratch after failure of %s "
+                    "(%d iterations lost)", failed, iteration)
+        self.iterations_lost += iteration
+        self.restarts += 1
+        return True
+
+    def _restart_from_scratch(self) -> None:
+        """Reset the dynamic state to the initial guess (zero iterate)."""
+        from ..distributed.spmv import distributed_spmv
+
+        self.x.fill(0.0)
+        distributed_spmv(self.matrix, self.x, self.ap, self.context)
+        self.r.assign(self.rhs)
+        self.r.axpy(-1.0, self.ap)
+        self._apply_preconditioner(self.r, self.z)
+        self.p.assign(self.z)
+        self.rz = self.r.dot(self.z)
+        self.beta_prev = 0.0
+        # The iteration counter keeps running: a restart does not make the
+        # time already spent disappear, it only discards its effect.
+
+    def solve(self, x0=None):
+        result = super().solve(x0)
+        result.info["strategy"] = "full_restart"
+        result.info["restarts"] = self.restarts
+        result.info["iterations_lost"] = self.iterations_lost
+        return result

@@ -1,0 +1,139 @@
+"""The :class:`VirtualCluster` facade.
+
+A ``VirtualCluster`` bundles everything the distributed solvers need from the
+machine: the nodes with their private memories, the interconnect topology, the
+latency-bandwidth cost model with its ledger, the MPI-like communicator, the
+ULFM-like failure runtime and the reliable storage for static data.  It is
+the single object that experiment code constructs and passes around.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..utils.rng import RandomState, as_rng
+from .communicator import Communicator
+from .cost_model import CostLedger, MachineModel
+from .errors import ClusterError
+from .failure import FailureInjector, UlfmRuntime
+from .network import FatTreeTopology, Topology, UniformTopology, default_topology
+from .node import Node
+from .reliable_storage import ReliableStorage
+
+
+class VirtualCluster:
+    """A simulated distributed-memory parallel computer.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of compute nodes ``N``.
+    machine:
+        Performance parameters; defaults to :class:`MachineModel` defaults.
+    topology:
+        Interconnect; defaults to a fat tree sized for ``n_nodes``.
+    processors_per_node:
+        ``m`` of Sec. 1.1 -- kept for reporting; the node is the unit of
+        failure either way.
+    seed:
+        Seed for the cost model's run-to-run jitter (only used if the machine
+        model has ``jitter_rel_std > 0``).
+    """
+
+    def __init__(self, n_nodes: int, *, machine: Optional[MachineModel] = None,
+                 topology: Optional[Topology] = None, processors_per_node: int = 1,
+                 seed: Optional[int] = None):
+        if n_nodes < 1:
+            raise ClusterError(f"a cluster needs at least one node, got {n_nodes}")
+        self.n_nodes = int(n_nodes)
+        self.machine = machine if machine is not None else MachineModel()
+        self.topology = topology if topology is not None else default_topology(
+            n_nodes, self.machine.latency_intra, self.machine.latency_inter
+        )
+        if self.topology.n_nodes != self.n_nodes:
+            raise ClusterError(
+                f"topology is sized for {self.topology.n_nodes} nodes, "
+                f"cluster has {self.n_nodes}"
+            )
+        self._rng: Optional[RandomState] = (
+            as_rng(seed) if self.machine.jitter_rel_std > 0 else
+            (as_rng(seed) if seed is not None else None)
+        )
+        self.nodes: List[Node] = [
+            Node(rank=r, n_processors=processors_per_node)
+            for r in range(self.n_nodes)
+        ]
+        self.ledger = CostLedger(model=self.machine, rng=self._rng)
+        self.comm = Communicator(self.nodes, self.topology, self.ledger)
+        self.storage = ReliableStorage(self.ledger)
+        self.ulfm = UlfmRuntime(self.nodes)
+
+    # -- node queries -----------------------------------------------------
+    def node(self, rank: int) -> Node:
+        """The node object at *rank* (alive or failed)."""
+        if not 0 <= rank < self.n_nodes:
+            raise ClusterError(f"rank {rank} out of range [0, {self.n_nodes})")
+        return self.nodes[rank]
+
+    def alive_ranks(self) -> List[int]:
+        return [n.rank for n in self.nodes if n.is_alive]
+
+    def failed_ranks(self) -> List[int]:
+        return [n.rank for n in self.nodes if n.is_failed]
+
+    @property
+    def any_failed(self) -> bool:
+        return any(n.is_failed for n in self.nodes)
+
+    # -- failure handling ---------------------------------------------------
+    def fail_nodes(self, ranks: Iterable[int]) -> List[int]:
+        """Fail the listed ranks immediately (bypassing a schedule)."""
+        failed = []
+        for rank in ranks:
+            self.node(rank).fail()
+            failed.append(int(rank))
+        self.comm.drop_messages_to_failed()
+        return failed
+
+    def replace_nodes(self, ranks: Iterable[int]) -> List[int]:
+        """Install replacement nodes for the given failed ranks."""
+        return self.ulfm.provide_replacements(ranks)
+
+    def attach_failure_schedule(self, events) -> FailureInjector:
+        """Convenience: build a :class:`FailureInjector` for this cluster."""
+        return FailureInjector(events)
+
+    # -- time accounting ------------------------------------------------------
+    def simulated_time(self) -> float:
+        """Total simulated time accumulated so far (seconds)."""
+        return self.ledger.total_time()
+
+    def reset_costs(self) -> None:
+        """Clear the ledger (e.g. between the setup phase and the timed run)."""
+        self.ledger.reset()
+
+    # -- reporting --------------------------------------------------------------
+    def describe(self) -> str:
+        """One-line human-readable description (used by examples and logs)."""
+        topo = type(self.topology).__name__
+        return (
+            f"VirtualCluster(N={self.n_nodes}, topology={topo}, "
+            f"alive={len(self.alive_ranks())}, failed={len(self.failed_ranks())})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return self.describe()
+
+
+def make_cluster(n_nodes: int, *, uniform_latency: Optional[float] = None,
+                 machine: Optional[MachineModel] = None,
+                 seed: Optional[int] = None) -> VirtualCluster:
+    """Shorthand used heavily in tests: build a small cluster quickly.
+
+    ``uniform_latency`` switches to a :class:`UniformTopology` (simplest
+    latency structure); otherwise the default fat tree is used.
+    """
+    topology = None
+    if uniform_latency is not None:
+        topology = UniformTopology(n_nodes, latency=uniform_latency)
+    return VirtualCluster(n_nodes, machine=machine, topology=topology, seed=seed)

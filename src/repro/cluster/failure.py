@@ -1,0 +1,205 @@
+"""Fail-stop node failures and the ULFM-like recovery runtime.
+
+Two pieces live here:
+
+* :class:`FailureInjector` -- turns a declarative schedule of
+  :class:`FailureEvent` objects ("at iteration 120, ranks {4, 5, 6} fail")
+  into actual node failures on the virtual cluster, at the right point of the
+  solver's progress.  Overlapping failures (a second event that strikes while
+  reconstruction of a first one is still running, Sec. 4.1) are expressed by
+  events carrying ``during_recovery_of`` references.
+* :class:`UlfmRuntime` -- models the fault-tolerance features the paper
+  assumes from the MPI runtime (Sec. 1.1.1): detection of failures,
+  notification of the surviving nodes, and provisioning of replacement nodes
+  that take over the failed ranks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..utils.validation import ValidationError, check_rank_list
+from .node import Node, NodeStatus
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """A single (possibly multi-node) failure event.
+
+    Parameters
+    ----------
+    iteration:
+        Solver iteration *before* which the event strikes.  All ranks listed
+        in ``ranks`` fail simultaneously at that point.
+    ranks:
+        The node ranks that fail together.
+    during_recovery_of:
+        If not ``None``, the event does not strike at an iteration boundary
+        but *while the recovery from the referenced event index is running*
+        (overlapping failures, Sec. 4.1).  The reconstruction must then be
+        restarted including the newly failed ranks.
+    label:
+        Optional human-readable tag used in reports.
+    """
+
+    iteration: int
+    ranks: Tuple[int, ...]
+    during_recovery_of: Optional[int] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.iteration < 0:
+            raise ValidationError(
+                f"failure iteration must be >= 0, got {self.iteration}"
+            )
+        if not self.ranks:
+            raise ValidationError("a failure event needs at least one rank")
+        if len(set(self.ranks)) != len(self.ranks):
+            raise ValidationError(f"duplicate ranks in failure event: {self.ranks}")
+        object.__setattr__(self, "ranks", tuple(int(r) for r in self.ranks))
+
+    @property
+    def n_failures(self) -> int:
+        return len(self.ranks)
+
+
+class FailureInjector:
+    """Executes a failure schedule against the nodes of a cluster."""
+
+    def __init__(self, events: Sequence[FailureEvent] = ()):
+        self._events: List[FailureEvent] = sorted(
+            events, key=lambda e: (e.iteration, e.during_recovery_of is not None)
+        )
+        self._triggered: Set[int] = set()
+
+    @property
+    def events(self) -> List[FailureEvent]:
+        return list(self._events)
+
+    def add_event(self, event: FailureEvent) -> None:
+        self._events.append(event)
+        self._events.sort(key=lambda e: (e.iteration, e.during_recovery_of is not None))
+
+    def pending_events(self) -> List[FailureEvent]:
+        """Events that have not been triggered yet."""
+        return [e for i, e in enumerate(self._events) if i not in self._triggered]
+
+    def events_due(self, iteration: int, *, overlapping: bool = False
+                   ) -> List[Tuple[int, FailureEvent]]:
+        """Events that should strike at (or before) *iteration*.
+
+        ``overlapping`` selects the events flagged with ``during_recovery_of``
+        (queried by the recovery driver), the default selects iteration-boundary
+        events (queried by the solver loop).
+        """
+        due = []
+        for idx, event in enumerate(self._events):
+            if idx in self._triggered:
+                continue
+            is_overlap = event.during_recovery_of is not None
+            if is_overlap != overlapping:
+                continue
+            if event.iteration <= iteration:
+                due.append((idx, event))
+        return due
+
+    def trigger(self, idx: int, nodes: Sequence[Node]) -> FailureEvent:
+        """Fire event *idx*: fail the listed nodes and mark the event done."""
+        if idx in self._triggered:
+            raise ValidationError(f"failure event {idx} already triggered")
+        event = self._events[idx]
+        check_rank_list(event.ranks, len(nodes), "failure ranks")
+        for rank in event.ranks:
+            nodes[rank].fail()
+        self._triggered.add(idx)
+        return event
+
+    def all_triggered(self) -> bool:
+        return len(self._triggered) == len(self._events)
+
+    def max_simultaneous_failures(self) -> int:
+        """Largest number of ranks failing in one event (lower bound for phi)."""
+        return max((e.n_failures for e in self._events), default=0)
+
+
+@dataclass
+class RecoveryRecord:
+    """Bookkeeping for one recovery episode (possibly spanning overlaps)."""
+
+    start_iteration: int
+    failed_ranks: List[int] = field(default_factory=list)
+    restarts: int = 0
+    simulated_time: float = 0.0
+    wallclock_time: float = 0.0
+
+
+class UlfmRuntime:
+    """Failure detection, notification and node replacement.
+
+    The real counterpart is the MPI ULFM extension: failures are detected,
+    surviving processes are notified which ranks died, and the application
+    obtains replacement processes.  Here detection is exact and immediate (the
+    paper does not study detection latency), and replacements reuse the failed
+    rank's slot with a wiped memory, matching the simulation methodology of
+    Sec. 6 of the paper.
+    """
+
+    def __init__(self, nodes: Sequence[Node]):
+        self._nodes = list(nodes)
+        self._known_failed: Set[int] = set()
+        self.recoveries: List[RecoveryRecord] = []
+
+    # -- detection / notification -------------------------------------------
+    def detect_failures(self) -> List[int]:
+        """Return newly failed ranks since the last call (and remember them)."""
+        current = {n.rank for n in self._nodes if n.is_failed}
+        new = sorted(current - self._known_failed)
+        self._known_failed |= set(new)
+        return new
+
+    def known_failed(self) -> List[int]:
+        """Ranks currently known to be failed and not yet replaced."""
+        return sorted(
+            r for r in self._known_failed if self._nodes[r].is_failed
+        )
+
+    def notify_survivors(self, failed_ranks: Iterable[int]) -> Dict[int, List[int]]:
+        """Deliver the failure notification to every surviving rank.
+
+        Returns a map ``surviving rank -> list of failed ranks`` (what each
+        survivor now knows), mirroring ULFM's revoke/agree pattern.
+        """
+        failed = sorted(set(failed_ranks))
+        return {
+            node.rank: list(failed)
+            for node in self._nodes
+            if node.is_alive
+        }
+
+    # -- replacement ----------------------------------------------------------
+    def provide_replacements(self, failed_ranks: Iterable[int]) -> List[int]:
+        """Install replacement nodes for *failed_ranks*; return their ranks."""
+        replaced = []
+        for rank in sorted(set(failed_ranks)):
+            node = self._nodes[rank]
+            if node.status is not NodeStatus.FAILED:
+                raise ValidationError(
+                    f"rank {rank} is not failed; nothing to replace"
+                )
+            node.replace()
+            self._known_failed.discard(rank)
+            replaced.append(rank)
+        return replaced
+
+    def begin_recovery(self, iteration: int, failed_ranks: Iterable[int]
+                       ) -> RecoveryRecord:
+        """Open a recovery record (used by the resilient solver driver)."""
+        record = RecoveryRecord(
+            start_iteration=iteration, failed_ranks=sorted(set(failed_ranks))
+        )
+        self.recoveries.append(record)
+        return record
+
+    def total_recoveries(self) -> int:
+        return len(self.recoveries)

@@ -1,0 +1,174 @@
+"""Compute nodes of the virtual distributed-memory machine.
+
+A :class:`Node` models one compute node of the parallel computer described in
+Sec. 1.1 of the paper: it has a private memory (shared by its ``m`` local
+processors, which the simulation does not need to distinguish further), it can
+*fail* -- losing all dynamic data stored in that memory -- and it can later be
+re-initialised as a *replacement node* that takes over the failed node's rank.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Optional
+
+import numpy as np
+
+from .errors import NodeFailedError
+
+
+class NodeStatus(enum.Enum):
+    """Lifecycle states of a virtual compute node."""
+
+    #: Healthy node participating in the computation.
+    ALIVE = "alive"
+    #: Node that failed; its memory contents are gone.
+    FAILED = "failed"
+    #: Node brought in to take over a failed node's rank (Sec. 1.1).  It is
+    #: functionally alive but flagged so the recovery logic and statistics can
+    #: distinguish it from nodes that never failed.
+    REPLACEMENT = "replacement"
+
+
+class NodeMemory:
+    """Private key/value memory of one node.
+
+    Every read or write checks the owning node's status, so any attempt to use
+    data that should have been lost in a failure raises
+    :class:`~repro.cluster.errors.NodeFailedError`.
+    """
+
+    def __init__(self, node: "Node"):
+        self._node = node
+        self._store: Dict[Any, Any] = {}
+
+    # -- guarded dict-like interface -------------------------------------
+    def _check(self) -> None:
+        if self._node.status is NodeStatus.FAILED:
+            raise NodeFailedError(self._node.rank)
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        self._check()
+        self._store[key] = value
+
+    def __getitem__(self, key: Any) -> Any:
+        self._check()
+        return self._store[key]
+
+    def __delitem__(self, key: Any) -> None:
+        self._check()
+        del self._store[key]
+
+    def __contains__(self, key: Any) -> bool:
+        self._check()
+        return key in self._store
+
+    def __len__(self) -> int:
+        self._check()
+        return len(self._store)
+
+    def __iter__(self) -> Iterator[Any]:
+        self._check()
+        return iter(list(self._store.keys()))
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        self._check()
+        return self._store.get(key, default)
+
+    def pop(self, key: Any, *default: Any) -> Any:
+        self._check()
+        return self._store.pop(key, *default)
+
+    def keys(self):
+        self._check()
+        return list(self._store.keys())
+
+    def clear(self) -> None:
+        """Erase everything (used when the node fails)."""
+        self._store.clear()
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint of stored NumPy data (for statistics)."""
+        self._check()
+        total = 0
+        for value in self._store.values():
+            if isinstance(value, np.ndarray):
+                total += value.nbytes
+            elif hasattr(value, "data") and hasattr(value.data, "nbytes"):
+                # scipy sparse matrices
+                total += value.data.nbytes
+                for attr in ("indices", "indptr"):
+                    arr = getattr(value, attr, None)
+                    if arr is not None:
+                        total += arr.nbytes
+        return total
+
+
+@dataclass
+class Node:
+    """One compute node of the virtual cluster.
+
+    Parameters
+    ----------
+    rank:
+        Global rank (0-based) of the node.  The paper indexes nodes
+        ``1..N``; ranks map to that numbering shifted by one.
+    n_processors:
+        Number of processors sharing the node's memory (``m`` in Sec. 1.1).
+        The simulation treats the node as the unit of failure and of data
+        ownership, matching the paper's experiments (one process per node).
+    """
+
+    rank: int
+    n_processors: int = 1
+    status: NodeStatus = NodeStatus.ALIVE
+    #: Number of times this rank has failed during the simulation.
+    failure_count: int = 0
+    memory: NodeMemory = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError(f"rank must be non-negative, got {self.rank}")
+        if self.n_processors < 1:
+            raise ValueError(
+                f"n_processors must be at least 1, got {self.n_processors}"
+            )
+        self.memory = NodeMemory(self)
+
+    # -- status helpers ---------------------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        """True for ``ALIVE`` and ``REPLACEMENT`` nodes."""
+        return self.status is not NodeStatus.FAILED
+
+    @property
+    def is_failed(self) -> bool:
+        return self.status is NodeStatus.FAILED
+
+    # -- failure / replacement lifecycle ----------------------------------
+    def fail(self) -> None:
+        """Fail-stop this node: erase its memory and mark it failed."""
+        self.memory.clear()
+        self.status = NodeStatus.FAILED
+        self.failure_count += 1
+
+    def replace(self) -> None:
+        """Bring in a replacement node for this rank.
+
+        The replacement starts with an *empty* memory -- it has to obtain all
+        data it needs through the recovery procedure (reliable storage for
+        static data, redundant copies on surviving nodes for dynamic data).
+        """
+        if self.status is not NodeStatus.FAILED:
+            raise ValueError(
+                f"node {self.rank} is not failed; cannot install a replacement"
+            )
+        self.memory.clear()
+        self.status = NodeStatus.REPLACEMENT
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Node(rank={self.rank}, status={self.status.value}, "
+            f"failures={self.failure_count})"
+        )

@@ -1,0 +1,59 @@
+"""The paper's core contribution: ESR-resilient PCG for multiple node failures."""
+
+from .api import (
+    DistributedProblem,
+    build_failure_events,
+    distribute_problem,
+    reference_solve,
+    resilient_solve,
+    solve_with_failures,
+)
+from .esr import ESRProtocol
+from .metrics import (
+    ConvergenceComparison,
+    compare_runs,
+    convergence_rate_estimate,
+    iterations_to_tolerance,
+    max_residual_difference,
+    relative_residual_difference,
+    residual_difference_of,
+    state_difference,
+)
+from .pcg import DistributedPCG, DistributedSolveResult
+from .reconstruction import ESRReconstructor, RecoveryReport
+from .redundancy import (
+    BackupPlacement,
+    OwnerRedundancy,
+    RedundancyScheme,
+    backup_targets,
+    paper_backup_target,
+)
+from .resilient_pcg import ResilientPCG
+
+__all__ = [
+    "DistributedPCG",
+    "DistributedSolveResult",
+    "ResilientPCG",
+    "ESRProtocol",
+    "ESRReconstructor",
+    "RecoveryReport",
+    "RedundancyScheme",
+    "OwnerRedundancy",
+    "BackupPlacement",
+    "backup_targets",
+    "paper_backup_target",
+    "DistributedProblem",
+    "distribute_problem",
+    "reference_solve",
+    "resilient_solve",
+    "solve_with_failures",
+    "build_failure_events",
+    "relative_residual_difference",
+    "residual_difference_of",
+    "max_residual_difference",
+    "compare_runs",
+    "ConvergenceComparison",
+    "convergence_rate_estimate",
+    "iterations_to_tolerance",
+    "state_difference",
+]

@@ -1,0 +1,170 @@
+"""High-level convenience API.
+
+These helpers wire the substrates together for the common case: take a global
+SciPy sparse SPD system, distribute it over a virtual cluster, and run either
+the reference distributed PCG (for the paper's ``t0``) or the resilient
+solver with a failure schedule.  The examples and the benchmark harness are
+built on top of these functions; power users can assemble the pieces manually
+for full control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..cluster.cluster import VirtualCluster
+from ..cluster.cost_model import MachineModel
+from ..cluster.failure import FailureEvent, FailureInjector
+from ..cluster.network import Topology
+from ..distributed.comm_context import CommunicationContext
+from ..distributed.dmatrix import DistributedMatrix
+from ..distributed.dvector import DistributedVector
+from ..distributed.partition import BlockRowPartition
+from ..precond.base import Preconditioner
+from ..precond.factory import make_preconditioner
+from .pcg import DistributedPCG, DistributedSolveResult
+from .redundancy import BackupPlacement
+from .resilient_pcg import ResilientPCG
+
+
+@dataclass
+class DistributedProblem:
+    """A linear system distributed over a virtual cluster."""
+
+    cluster: VirtualCluster
+    partition: BlockRowPartition
+    matrix: DistributedMatrix
+    rhs: DistributedVector
+    context: CommunicationContext
+
+    @property
+    def n(self) -> int:
+        return self.partition.n
+
+    @property
+    def n_nodes(self) -> int:
+        return self.partition.n_parts
+
+
+def distribute_problem(matrix, rhs: Optional[np.ndarray] = None, *,
+                       n_nodes: int = 8,
+                       machine: Optional[MachineModel] = None,
+                       topology: Optional[Topology] = None,
+                       seed: Optional[int] = None,
+                       cluster: Optional[VirtualCluster] = None
+                       ) -> DistributedProblem:
+    """Distribute ``A x = b`` over a (new or existing) virtual cluster.
+
+    Parameters
+    ----------
+    matrix:
+        Global SPD matrix (any SciPy sparse format or dense array).
+    rhs:
+        Right-hand side; defaults to ``A @ ones`` so the exact solution is the
+        all-ones vector (handy for verification).
+    n_nodes:
+        Number of virtual compute nodes (ignored if *cluster* is given).
+    machine, topology, seed:
+        Forwarded to :class:`~repro.cluster.cluster.VirtualCluster`.
+    cluster:
+        Reuse an existing cluster instead of creating one.
+    """
+    a = sp.csr_matrix(matrix)
+    n = a.shape[0]
+    if rhs is None:
+        rhs = a @ np.ones(n)
+    rhs = np.asarray(rhs, dtype=np.float64)
+    if cluster is None:
+        cluster = VirtualCluster(n_nodes, machine=machine, topology=topology,
+                                 seed=seed)
+    partition = BlockRowPartition(n, cluster.n_nodes)
+    a_dist = DistributedMatrix.from_global(cluster, partition, "A", a)
+    b_dist = DistributedVector.from_global(cluster, partition, "b", rhs)
+    context = CommunicationContext.from_matrix(a_dist)
+    return DistributedProblem(cluster, partition, a_dist, b_dist, context)
+
+
+def _resolve_preconditioner(preconditioner: Union[None, str, Preconditioner],
+                            problem: DistributedProblem) -> Preconditioner:
+    if preconditioner is None:
+        preconditioner = "block_jacobi"
+    if isinstance(preconditioner, str):
+        preconditioner = make_preconditioner(preconditioner)
+    if not preconditioner.is_set_up:
+        preconditioner.setup(problem.matrix.to_global(), problem.partition)
+    return preconditioner
+
+
+def build_failure_events(failures: Iterable[Union[FailureEvent, Tuple]]
+                         ) -> List[FailureEvent]:
+    """Normalise ``(iteration, ranks)`` tuples into :class:`FailureEvent` objects."""
+    events: List[FailureEvent] = []
+    for item in failures:
+        if isinstance(item, FailureEvent):
+            events.append(item)
+        else:
+            iteration, ranks = item[0], item[1]
+            if np.isscalar(ranks):
+                ranks = [int(ranks)]
+            events.append(FailureEvent(int(iteration), tuple(int(r) for r in ranks)))
+    return events
+
+
+def reference_solve(problem: DistributedProblem, *,
+                    preconditioner: Union[None, str, Preconditioner] = None,
+                    rtol: float = 1e-8,
+                    max_iterations: Optional[int] = None
+                    ) -> DistributedSolveResult:
+    """Run the plain (non-resilient) distributed PCG -- the paper's reference run."""
+    solver = DistributedPCG(
+        problem.matrix, problem.rhs,
+        _resolve_preconditioner(preconditioner, problem),
+        rtol=rtol, max_iterations=max_iterations, context=problem.context,
+    )
+    return solver.solve()
+
+
+def resilient_solve(problem: DistributedProblem, *, phi: int = 1,
+                    preconditioner: Union[None, str, Preconditioner] = None,
+                    failures: Iterable[Union[FailureEvent, Tuple]] = (),
+                    placement: BackupPlacement = BackupPlacement.PAPER,
+                    rtol: float = 1e-8,
+                    max_iterations: Optional[int] = None,
+                    local_solver_method: str = "pcg_ilu",
+                    local_rtol: float = 1e-14) -> DistributedSolveResult:
+    """Run the ESR-protected PCG, optionally injecting node failures.
+
+    ``failures`` may contain :class:`FailureEvent` objects or simple
+    ``(iteration, ranks)`` tuples.
+    """
+    events = build_failure_events(failures)
+    injector = FailureInjector(events) if events else None
+    solver = ResilientPCG(
+        problem.matrix, problem.rhs,
+        _resolve_preconditioner(preconditioner, problem),
+        phi=phi, placement=placement, failure_injector=injector,
+        local_solver_method=local_solver_method, local_rtol=local_rtol,
+        rtol=rtol, max_iterations=max_iterations, context=problem.context,
+    )
+    return solver.solve()
+
+
+def solve_with_failures(matrix, rhs: Optional[np.ndarray] = None, *,
+                        n_nodes: int = 8, phi: int = 1,
+                        failures: Iterable[Union[FailureEvent, Tuple]] = (),
+                        preconditioner: Union[None, str, Preconditioner] = None,
+                        rtol: float = 1e-8,
+                        max_iterations: Optional[int] = None,
+                        machine: Optional[MachineModel] = None,
+                        seed: Optional[int] = None) -> DistributedSolveResult:
+    """One-call convenience wrapper: distribute, protect, fail, recover, solve."""
+    problem = distribute_problem(matrix, rhs, n_nodes=n_nodes, machine=machine,
+                                 seed=seed)
+    return resilient_solve(
+        problem, phi=phi, failures=failures, preconditioner=preconditioner,
+        rtol=rtol, max_iterations=max_iterations,
+    )

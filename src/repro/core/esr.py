@@ -1,0 +1,261 @@
+"""The ESR protocol: keeping and retrieving redundant search-direction copies.
+
+During the failure-free iterations, :class:`ESRProtocol.after_spmv` snapshots,
+on every holder node, the elements of other nodes' search-direction blocks
+that the holder either received naturally during the SpMV halo exchange or was
+sent explicitly as a designated backup (the ``R^c_ik`` sets of Eqn. (6)).  Two
+generations are retained -- ``p^(j)`` and ``p^(j-1)`` -- as required for the
+exact state reconstruction (Sec. 2.2).  The *extra* traffic is charged to the
+``comm.redundancy`` phase of the cost model using the latency-bandwidth
+analysis of Sec. 4.2 (piggybacked extras pay no latency).
+
+After node failures, :meth:`recover_block` re-assembles a failed node's block
+of either generation from the copies on surviving nodes, charging the reverse
+communication to the recovery phase; :meth:`recover_replicated_scalar` fetches
+replicated scalars (``beta^(j-1)``) from any survivor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..cluster.cluster import VirtualCluster
+from ..cluster.cost_model import Phase
+from ..cluster.errors import NodeFailedError, UnrecoverableStateError
+from ..distributed.comm_context import CommunicationContext
+from ..distributed.dvector import DistributedVector
+from ..distributed.partition import BlockRowPartition
+from .redundancy import BackupPlacement, RedundancyScheme
+
+#: Node-memory key prefix for ESR ghost stores.
+_ESR_KEY = "esr_store"
+#: Node-memory key for replicated scalars.
+_SCALAR_KEY = "esr_scalars"
+
+
+@dataclass
+class GenerationInfo:
+    """Which solver iteration a storage generation (parity slot) holds."""
+
+    iteration: int = -1
+
+
+class ESRProtocol:
+    """Maintains the redundant copies required by the ESR approach."""
+
+    def __init__(self, cluster: VirtualCluster, context: CommunicationContext,
+                 phi: int, *, placement: BackupPlacement = BackupPlacement.PAPER,
+                 scheme: Optional[RedundancyScheme] = None):
+        self.cluster = cluster
+        self.context = context
+        self.partition: BlockRowPartition = context.partition
+        self.phi = int(phi)
+        self.scheme = scheme if scheme is not None else RedundancyScheme(
+            context, phi, placement=placement
+        )
+        if self.scheme.phi != self.phi:
+            raise ValueError(
+                f"redundancy scheme phi={self.scheme.phi} does not match "
+                f"protocol phi={self.phi}"
+            )
+        #: (owner, holder) -> global indices the holder stores each iteration.
+        self._pattern = self.scheme.held_pattern()
+        #: Precomputed local (owner-block) offsets per pattern entry.
+        self._pattern_local: Dict[Tuple[int, int], np.ndarray] = {}
+        for (owner, holder), idx in self._pattern.items():
+            start, _ = self.partition.range_of(owner)
+            self._pattern_local[(owner, holder)] = idx - start
+        #: Iteration number stored in each of the two generation slots.
+        self._generations: Dict[int, GenerationInfo] = {
+            0: GenerationInfo(), 1: GenerationInfo()
+        }
+        # Precompute per-iteration redundancy overhead (pattern is static).
+        self._overhead_time = self.scheme.per_iteration_overhead_time(
+            cluster.topology, cluster.machine
+        )
+        self._overhead_traffic = self.scheme.extra_traffic_per_iteration()
+
+    # -- storage during failure-free iterations -------------------------------
+    def _slot_for(self, iteration: int) -> int:
+        return iteration % 2
+
+    def after_spmv(self, p: DistributedVector, iteration: int) -> None:
+        """Record redundant copies of ``p^(iteration)`` on all holder nodes.
+
+        Must be called right after the SpMV of the given iteration (when the
+        halo values have just been communicated anyway).  Charges only the
+        *extra* redundancy traffic; the natural halo traffic was already
+        charged by the SpMV itself.
+        """
+        slot = self._slot_for(iteration)
+        self._generations[slot] = GenerationInfo(iteration=iteration)
+        for (owner, holder), local_idx in self._pattern_local.items():
+            holder_node = self.cluster.node(holder)
+            if not holder_node.is_alive:
+                # A failed holder simply stores nothing; the invariant still
+                # guarantees enough surviving copies as long as the total
+                # number of failures stays within phi.
+                continue
+            try:
+                values = p.get_block(owner)[local_idx]
+            except NodeFailedError:
+                # The owner itself is failed; its block will be reconstructed
+                # before the solver continues, nothing to store now.
+                continue
+            key = (_ESR_KEY, slot, owner)
+            holder_node.memory[key] = values.copy()
+        # Charge the extra redundancy communication of this iteration.
+        if self.phi > 0 and self._overhead_time > 0.0:
+            self.cluster.ledger.add_time(Phase.REDUNDANCY_COMM, self._overhead_time)
+        messages, elements = self._overhead_traffic
+        if messages or elements:
+            self.cluster.ledger.add_traffic(Phase.REDUNDANCY_COMM, messages, elements)
+
+    def store_replicated_scalars(self, iteration: int, **scalars: float) -> None:
+        """Replicate solver scalars (e.g. ``beta``) on every alive node."""
+        payload = dict(scalars)
+        payload["iteration"] = iteration
+        for rank in self.cluster.alive_ranks():
+            self.cluster.node(rank).memory[_SCALAR_KEY] = dict(payload)
+
+    # -- queries --------------------------------------------------------------------
+    def generation_iteration(self, slot: int) -> int:
+        """The solver iteration stored in parity *slot* (-1 if empty)."""
+        return self._generations[slot].iteration
+
+    def available_generations(self) -> List[int]:
+        """Iteration numbers currently retained (at most two)."""
+        return sorted(
+            info.iteration for info in self._generations.values()
+            if info.iteration >= 0
+        )
+
+    def holders_with_copies(self, owner: int, iteration: int) -> List[int]:
+        """Surviving holder ranks that have copies of *owner*'s block."""
+        slot = self._slot_for(iteration)
+        holders = []
+        for (own, holder) in self._pattern_local:
+            if own != owner:
+                continue
+            node = self.cluster.node(holder)
+            if not node.is_alive:
+                continue
+            if (_ESR_KEY, slot, owner) in node.memory:
+                holders.append(holder)
+        return sorted(holders)
+
+    # -- recovery -----------------------------------------------------------------------
+    def recover_block(self, owner: int, iteration: int, *, charge: bool = True,
+                      destination: Optional[int] = None) -> np.ndarray:
+        """Re-assemble ``p^(iteration)_{I_owner}`` from surviving copies.
+
+        Parameters
+        ----------
+        owner:
+            The failed rank whose block is reconstructed.
+        iteration:
+            Which retained generation to recover (must be one of
+            :meth:`available_generations`).
+        charge:
+            Charge the reverse communication to the recovery phase.
+        destination:
+            Rank of the replacement node the copies are sent to (defaults to
+            *owner*, i.e. the replacement occupying the failed slot).
+
+        Raises
+        ------
+        UnrecoverableStateError
+            If some element has no surviving copy (more failures than the
+            configured redundancy can tolerate).
+        """
+        slot = self._slot_for(iteration)
+        stored = self._generations[slot].iteration
+        if stored != iteration:
+            raise UnrecoverableStateError(
+                f"no retained copies of iteration {iteration} "
+                f"(slot holds iteration {stored})"
+            )
+        destination = owner if destination is None else destination
+        start, _ = self.partition.range_of(owner)
+        size = self.partition.size_of(owner)
+        block = np.full(size, np.nan)
+        covered = np.zeros(size, dtype=bool)
+        ledger = self.cluster.ledger
+
+        # First, the owner's own copy if the owner is somehow still alive
+        # (e.g. recovery triggered for a different node); normally it is not.
+        for holder in self.holders_with_copies(owner, iteration):
+            node = self.cluster.node(holder)
+            key = (_ESR_KEY, slot, owner)
+            values = node.memory[key]
+            local_idx = self._pattern_local[(owner, holder)]
+            newly = ~covered[local_idx]
+            if not np.any(newly):
+                continue
+            block[local_idx[newly]] = values[newly]
+            covered[local_idx[newly]] = True
+            if charge and holder != destination:
+                n_sent = int(np.count_nonzero(newly))
+                latency = self.cluster.topology.latency(holder, destination)
+                ledger.add_time(
+                    Phase.RECOVERY_COMM,
+                    ledger.model.message_time(latency, n_sent),
+                )
+                ledger.add_traffic(Phase.RECOVERY_COMM, 1, n_sent)
+            if np.all(covered):
+                break
+
+        if not np.all(covered):
+            missing = int(np.count_nonzero(~covered))
+            raise UnrecoverableStateError(
+                f"cannot recover block of rank {owner} at iteration {iteration}: "
+                f"{missing} of {size} elements have no surviving copy "
+                f"(phi={self.phi} redundant copies were kept)"
+            )
+        return block
+
+    def recover_replicated_scalar(self, name: str, *, charge: bool = True
+                                  ) -> float:
+        """Fetch a replicated scalar (e.g. ``beta``) from any surviving node."""
+        for rank in self.cluster.alive_ranks():
+            node = self.cluster.node(rank)
+            if _SCALAR_KEY in node.memory:
+                payload = node.memory[_SCALAR_KEY]
+                if name in payload:
+                    if charge:
+                        ledger = self.cluster.ledger
+                        ledger.add_time(
+                            Phase.RECOVERY_COMM,
+                            ledger.model.message_time(
+                                self.cluster.topology.max_latency(), 1
+                            ),
+                        )
+                        ledger.add_traffic(Phase.RECOVERY_COMM, 1, 1)
+                    return float(payload[name])
+        raise UnrecoverableStateError(
+            f"replicated scalar {name!r} is not available on any surviving node"
+        )
+
+    # -- cost/overhead introspection ------------------------------------------------------
+    @property
+    def per_iteration_overhead_time(self) -> float:
+        """Simulated redundancy overhead charged per iteration."""
+        return self._overhead_time
+
+    def overhead_summary(self) -> Dict[str, float]:
+        """Summary used by the analysis module and the reports."""
+        lower, upper = self.scheme.overhead_bounds(
+            self.cluster.topology, self.cluster.machine
+        )
+        messages, elements = self._overhead_traffic
+        return {
+            "phi": float(self.phi),
+            "per_iteration_time": self._overhead_time,
+            "lower_bound": lower,
+            "upper_bound": upper,
+            "extra_messages": float(messages),
+            "extra_elements": float(elements),
+        }

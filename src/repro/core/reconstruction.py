@@ -1,0 +1,389 @@
+"""Exact state reconstruction after node failures (Alg. 2, generalised).
+
+Given ``psi <= phi`` failed nodes, the reconstruction restores the full PCG
+state ``(x^(j), r^(j), z^(j), p^(j))`` on the replacement nodes:
+
+1. retrieve the static data (``A_{I_f,I}``, preconditioner rows, ``b_{I_f}``)
+   from reliable storage,
+2. recover the replicated scalar ``beta^(j-1)`` from any survivor,
+3. recover ``p^(j)_{I_f}`` and ``p^(j-1)_{I_f}`` from the redundant copies the
+   ESR protocol keeps on surviving nodes,
+4. compute ``z^(j)_{I_f} = p^(j)_{I_f} - beta^(j-1) p^(j-1)_{I_f}``,
+5. reconstruct ``r^(j)_{I_f}`` -- depending on which preconditioner
+   representation is available (``P = M^{-1}``: solve ``P_{I_f,I_f} r = z -
+   P_{I_f,I\\I_f} r``; ``M`` or ``M = L L^T``: multiply ``r_{I_f} = M_{I_f,I}
+   z``; identity: ``r = z``),
+6. compute ``w = b_{I_f} - r^(j)_{I_f} - A_{I_f,I\\I_f} x^(j)`` and solve
+   ``A_{I_f,I_f} x^(j)_{I_f} = w`` with a tightly-converged local solver.
+
+Overlapping failures (new nodes dying while the reconstruction runs,
+Sec. 4.1) are handled by restarting the procedure with the enlarged failed
+set, exactly as the paper prescribes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..cluster.cluster import VirtualCluster
+from ..cluster.cost_model import Phase
+from ..cluster.errors import UnrecoverableStateError
+from ..distributed.comm_context import CommunicationContext
+from ..distributed.dmatrix import DistributedMatrix
+from ..distributed.dvector import DistributedVector
+from ..distributed.partition import BlockRowPartition
+from ..precond.base import Preconditioner, PreconditionerForm
+from ..solvers.local_solver import LocalSolveStats, LocalSubsystemSolver
+from ..utils.logging import get_logger
+from .esr import ESRProtocol
+
+logger = get_logger("core.reconstruction")
+
+#: Maximum number of reconstruction restarts caused by overlapping failures
+#: before giving up (prevents infinite loops on pathological schedules).
+MAX_RECONSTRUCTION_RESTARTS = 64
+
+
+@dataclass
+class RecoveryReport:
+    """Outcome and cost of one recovery episode."""
+
+    iteration: int
+    failed_ranks: List[int]
+    restarts: int = 0
+    simulated_time: float = 0.0
+    wallclock_time: float = 0.0
+    reconstruction_form: str = ""
+    local_solve_stats: List[LocalSolveStats] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def n_failures(self) -> int:
+        return len(self.failed_ranks)
+
+
+class ESRReconstructor:
+    """Implements the (multi-node) ESR reconstruction phase."""
+
+    def __init__(self, cluster: VirtualCluster, matrix: DistributedMatrix,
+                 rhs: DistributedVector, preconditioner: Preconditioner,
+                 context: CommunicationContext, esr: ESRProtocol, *,
+                 local_solver_method: str = "pcg_ilu",
+                 local_rtol: float = 1e-14,
+                 reconstruction_form: Optional[PreconditionerForm] = None):
+        self.cluster = cluster
+        self.matrix = matrix
+        self.rhs = rhs
+        self.preconditioner = preconditioner
+        self.context = context
+        self.esr = esr
+        self.partition: BlockRowPartition = matrix.partition
+        self.local_solver_method = local_solver_method
+        self.local_rtol = local_rtol
+        self._requested_form = reconstruction_form
+        # The right-hand side is static data: make sure it is in reliable storage.
+        self.ensure_static_data_stored()
+
+    # -- static data handling --------------------------------------------------
+    def _rhs_storage_name(self) -> str:
+        return f"rhs:{self.rhs.name}"
+
+    def ensure_static_data_stored(self) -> None:
+        """Deposit the right-hand-side blocks in reliable storage (setup phase)."""
+        for rank in range(self.partition.n_parts):
+            key = (self._rhs_storage_name(), rank)
+            if key not in self.cluster.storage:
+                self.cluster.storage.put(key, self.rhs.get_block(rank).copy())
+
+    # -- form selection -------------------------------------------------------------
+    def reconstruction_form(self) -> PreconditionerForm:
+        """Which reconstruction variant will be used for the preconditioner."""
+        if self._requested_form is not None:
+            return self._requested_form
+        form = self.preconditioner.form
+        if form is PreconditionerForm.SPLIT:
+            # The split variant reduces to the forward variant via M = L L^T.
+            return PreconditionerForm.SPLIT
+        return form
+
+    # -- main entry point ----------------------------------------------------------------
+    def reconstruct(self, failed_ranks: Iterable[int], *, iteration: int,
+                    x: DistributedVector, r: DistributedVector,
+                    z: DistributedVector, p: DistributedVector,
+                    beta_fallback: float = 0.0,
+                    overlap_provider: Optional[Callable[[], List[int]]] = None
+                    ) -> RecoveryReport:
+        """Recover the solver state after the failure of *failed_ranks*.
+
+        Parameters
+        ----------
+        failed_ranks:
+            Ranks that have failed (their nodes must currently be failed).
+        iteration:
+            The iteration ``j`` whose state is being restored (the SpMV of
+            iteration ``j`` has already distributed copies of ``p^(j)``).
+        x, r, z, p:
+            The solver's distributed state vectors; blocks of the failed
+            ranks are rewritten in place on the replacement nodes.
+        beta_fallback:
+            Value of ``beta^(j-1)`` to use if no replicated copy can be found
+            (only relevant in artificial test setups).
+        overlap_provider:
+            Callable returning ranks that failed *while this reconstruction
+            was running*; when it returns a non-empty list the reconstruction
+            is restarted with the enlarged failed set.
+        """
+        ledger = self.cluster.ledger
+        start_snapshot = ledger.snapshot()
+        wall_start = time.perf_counter()
+
+        pending = sorted(set(int(f) for f in failed_ranks))
+        report = RecoveryReport(iteration=iteration, failed_ranks=list(pending))
+        report.reconstruction_form = self.reconstruction_form().value
+
+        restarts = 0
+        while True:
+            self._reconstruct_once(pending, iteration, x, r, z, p,
+                                    beta_fallback, report)
+            new_failures = list(overlap_provider()) if overlap_provider else []
+            if not new_failures:
+                break
+            restarts += 1
+            if restarts > MAX_RECONSTRUCTION_RESTARTS:
+                raise UnrecoverableStateError(
+                    "reconstruction restarted too many times due to "
+                    f"overlapping failures (> {MAX_RECONSTRUCTION_RESTARTS})"
+                )
+            pending = sorted(set(pending) | set(int(f) for f in new_failures))
+            report.notes.append(
+                f"overlapping failure of ranks {sorted(new_failures)}; "
+                f"reconstruction restarted with failed set {pending}"
+            )
+            logger.info("overlapping failure during recovery: restarting with %s",
+                        pending)
+
+        report.failed_ranks = list(pending)
+        report.restarts = restarts
+        report.simulated_time = ledger.since(start_snapshot, Phase.RECOVERY_PHASES)
+        report.wallclock_time = time.perf_counter() - wall_start
+        return report
+
+    # -- single reconstruction pass -----------------------------------------------------------
+    def _reconstruct_once(self, failed_ranks: Sequence[int], iteration: int,
+                          x: DistributedVector, r: DistributedVector,
+                          z: DistributedVector, p: DistributedVector,
+                          beta_fallback: float, report: RecoveryReport) -> None:
+        cluster = self.cluster
+        ledger = cluster.ledger
+        partition = self.partition
+
+        # Step 0: install replacement nodes for every rank that is still failed.
+        still_failed = [f for f in failed_ranks if cluster.node(f).is_failed]
+        if still_failed:
+            cluster.ulfm.detect_failures()
+            cluster.ulfm.notify_survivors(still_failed)
+            cluster.replace_nodes(still_failed)
+
+        failed = sorted(set(int(f) for f in failed_ranks))
+        failed_indices = partition.indices_of_set(failed)
+        surviving_mask = np.ones(partition.n, dtype=bool)
+        surviving_mask[failed_indices] = False
+
+        # Step 1: static data from reliable storage (charged to recovery.storage).
+        a_rows = self.matrix.recovery_rows(failed, charge=True)
+        for rank in failed:
+            self.matrix.restore_block_to_node(rank, charge=False)
+            rhs_block = cluster.storage.retrieve(
+                (self._rhs_storage_name(), rank), charge=True
+            )
+            self.rhs.set_block(rank, np.array(rhs_block, copy=True))
+
+        # Step 2/3: replicated scalar and the two most recent search directions.
+        try:
+            beta_prev = self.esr.recover_replicated_scalar("beta")
+        except UnrecoverableStateError:
+            beta_prev = float(beta_fallback)
+            report.notes.append("beta recovered from driver fallback")
+
+        p_cur_blocks: Dict[int, np.ndarray] = {}
+        p_prev_blocks: Dict[int, np.ndarray] = {}
+        for rank in failed:
+            p_cur_blocks[rank] = self.esr.recover_block(rank, iteration)
+            if iteration > 0:
+                p_prev_blocks[rank] = self.esr.recover_block(rank, iteration - 1)
+            else:
+                p_prev_blocks[rank] = np.zeros(partition.size_of(rank))
+
+        # Step 4: z_{I_f} = p^(j)_{I_f} - beta^(j-1) p^(j-1)_{I_f}
+        z_blocks = {
+            rank: p_cur_blocks[rank] - beta_prev * p_prev_blocks[rank]
+            for rank in failed
+        }
+        ledger.add_time(
+            Phase.RECOVERY_COMPUTE,
+            ledger.model.vector_op_time(int(failed_indices.size), 2.0),
+        )
+
+        # Steps 5-6: reconstruct the residual r_{I_f}.
+        r_blocks, local_stats_r = self._reconstruct_residual(
+            failed, failed_indices, surviving_mask, z_blocks, r, z
+        )
+        if local_stats_r is not None:
+            report.local_solve_stats.append(local_stats_r)
+
+        # Steps 7-8: reconstruct the iterate x_{I_f}.
+        x_blocks, local_stats_x = self._reconstruct_iterate(
+            failed, failed_indices, surviving_mask, a_rows, r_blocks, x
+        )
+        if local_stats_x is not None:
+            report.local_solve_stats.append(local_stats_x)
+
+        # Write everything back onto the replacement nodes.
+        for rank in failed:
+            p.set_block(rank, p_cur_blocks[rank])
+            z.set_block(rank, z_blocks[rank])
+            r.set_block(rank, r_blocks[rank])
+            x.set_block(rank, x_blocks[rank])
+        # Replicate the recovered scalar on the replacement nodes as well.
+        self.esr.store_replicated_scalars(iteration, beta=beta_prev)
+
+    # -- residual reconstruction (preconditioner-form dependent) --------------------------------
+    def _reconstruct_residual(self, failed: List[int], failed_indices: np.ndarray,
+                              surviving_mask: np.ndarray,
+                              z_blocks: Dict[int, np.ndarray],
+                              r: DistributedVector, z: DistributedVector):
+        form = self.reconstruction_form()
+        partition = self.partition
+        z_failed = np.concatenate([z_blocks[rank] for rank in failed]) if failed \
+            else np.zeros(0)
+
+        if form is PreconditionerForm.IDENTITY:
+            r_failed = z_failed.copy()
+            return self._split_to_blocks(failed, r_failed), None
+
+        if form is PreconditionerForm.INVERSE:
+            # v = z_{I_f} - P_{I_f, I\I_f} r_{I\I_f};  P_{I_f,I_f} r_{I_f} = v
+            p_rows = self.preconditioner.inverse_rows(failed_indices)
+            r_masked = self._gather_survivor_vector(r, failed, surviving_mask,
+                                                    purpose="r")
+            off_diag = p_rows.copy()
+            off_diag = _zero_columns(off_diag, failed_indices)
+            v = z_failed - off_diag @ r_masked
+            p_sub = p_rows[:, failed_indices]
+            solver = LocalSubsystemSolver(self.local_solver_method,
+                                          rtol=self.local_rtol)
+            r_failed = solver.solve(p_sub, v)
+            self._charge_local_solve(solver)
+            return self._split_to_blocks(failed, r_failed), solver.last_stats
+
+        # FORWARD and SPLIT: r_{I_f} = M_{I_f, I} z  (with M = L L^T for SPLIT)
+        m_rows = self.preconditioner.forward_rows(failed_indices)
+        z_full = self._gather_survivor_vector(z, failed, surviving_mask,
+                                              purpose="z")
+        # insert the reconstructed z_{I_f} values
+        z_full = z_full.copy()
+        z_full[failed_indices] = z_failed
+        r_failed = m_rows @ z_full
+        self.cluster.ledger.add_time(
+            Phase.RECOVERY_COMPUTE,
+            self.cluster.ledger.model.spmv_time(int(m_rows.nnz)),
+        )
+        return self._split_to_blocks(failed, r_failed), None
+
+    # -- iterate reconstruction -------------------------------------------------------------------
+    def _reconstruct_iterate(self, failed: List[int], failed_indices: np.ndarray,
+                             surviving_mask: np.ndarray, a_rows: sp.csr_matrix,
+                             r_blocks: Dict[int, np.ndarray],
+                             x: DistributedVector):
+        partition = self.partition
+        b_failed = np.concatenate([
+            self.rhs.get_block(rank) for rank in failed
+        ]) if failed else np.zeros(0)
+        r_failed = np.concatenate([r_blocks[rank] for rank in failed]) if failed \
+            else np.zeros(0)
+
+        x_masked = self._gather_survivor_vector(x, failed, surviving_mask,
+                                                purpose="x")
+        off_diag = _zero_columns(a_rows.copy(), failed_indices)
+        w = b_failed - r_failed - off_diag @ x_masked
+        self.cluster.ledger.add_time(
+            Phase.RECOVERY_COMPUTE,
+            self.cluster.ledger.model.spmv_time(int(off_diag.nnz)),
+        )
+
+        a_sub = a_rows[:, failed_indices]
+        solver = LocalSubsystemSolver(self.local_solver_method,
+                                      rtol=self.local_rtol)
+        x_failed = solver.solve(a_sub, w)
+        self._charge_local_solve(solver)
+        return self._split_to_blocks(failed, x_failed), solver.last_stats
+
+    # -- helpers ----------------------------------------------------------------------------------------
+    def _split_to_blocks(self, failed: List[int], concatenated: np.ndarray
+                         ) -> Dict[int, np.ndarray]:
+        """Split a vector over ``I_f`` (sorted rank order) into per-rank blocks."""
+        blocks: Dict[int, np.ndarray] = {}
+        offset = 0
+        for rank in failed:
+            size = self.partition.size_of(rank)
+            blocks[rank] = np.array(concatenated[offset:offset + size], copy=True)
+            offset += size
+        return blocks
+
+    def _gather_survivor_vector(self, vector: DistributedVector,
+                                failed: List[int], surviving_mask: np.ndarray,
+                                purpose: str) -> np.ndarray:
+        """Assemble a global vector with survivors' blocks and zeros at ``I_f``.
+
+        The communication of the surviving entries to the replacement nodes is
+        charged per (survivor -> replacement) message, with message sizes given
+        by the SpMV scatter pattern (only entries with non-zeros in the failed
+        rows are actually needed, exactly as in the paper's reverse-scatter
+        implementation, Sec. 6).
+        """
+        partition = self.partition
+        ledger = self.cluster.ledger
+        out = np.zeros(partition.n)
+        for rank in range(partition.n_parts):
+            if rank in failed:
+                continue
+            out[partition.slice_of(rank)] = vector.get_block(rank)
+        # Charge the gather: each surviving sender ships the elements the failed
+        # rows reference (the reverse of the SpMV scatter towards the failed rank).
+        for dst in failed:
+            for src in self.context.senders_to(dst):
+                if src in failed:
+                    continue
+                count = self.context.send_count(src, dst)
+                if count == 0:
+                    continue
+                latency = self.cluster.topology.latency(src, dst)
+                ledger.add_time(Phase.RECOVERY_COMM,
+                                ledger.model.message_time(latency, count))
+                ledger.add_traffic(Phase.RECOVERY_COMM, 1, count)
+        return out
+
+    def _charge_local_solve(self, solver: LocalSubsystemSolver) -> None:
+        ledger = self.cluster.ledger
+        ledger.add_time(
+            Phase.RECOVERY_COMPUTE,
+            solver.work_flops() / ledger.model.spmv_flop_rate,
+        )
+
+
+def _zero_columns(matrix: sp.csr_matrix, columns: np.ndarray) -> sp.csr_matrix:
+    """Return a copy of *matrix* with the given columns zeroed out."""
+    result = sp.csr_matrix(matrix, copy=True)
+    if result.nnz == 0 or columns.size == 0:
+        return result
+    mask = np.zeros(result.shape[1], dtype=bool)
+    mask[columns] = True
+    drop = mask[result.indices]
+    result.data[drop] = 0.0
+    result.eliminate_zeros()
+    return result

@@ -1,0 +1,319 @@
+"""Redundant-copy placement for the ESR approach (Secs. 3 and 4.1).
+
+During every SpMV ``u = A p``, node ``i`` sends the subset ``S_ik`` of its
+block ``p_{I_i}`` to node ``k`` (determined by the sparsity pattern of ``A``).
+Every receiver keeps what it received, so after the SpMV each element ``s`` of
+``p_{I_i}`` already has ``m_i(s)`` copies on other nodes (Eqn. (3)).
+
+*Chen's single-failure scheme* (Sec. 3) additionally ships the never-sent
+elements ``R^c_i = {s : m_i(s) = 0}`` to the next rank ``d_i = (i+1) mod N``
+-- enough for one failure, but two adjacent simultaneous failures lose data.
+
+*The paper's multi-failure scheme* (Sec. 4.1) designates ``phi`` backup nodes
+``d_i1, ..., d_iphi`` per owner (Eqn. (5): alternating +1, -1, +2, -2, ...
+neighbours) and ships to backup ``d_ik`` the minimal extra set ``R^c_ik`` of
+Eqn. (6), which guarantees that every element ends up on at least ``phi``
+distinct nodes other than its owner.
+
+:class:`RedundancyScheme` computes these sets from a
+:class:`~repro.distributed.comm_context.CommunicationContext`, provides the
+held-element pattern the ESR protocol stores each iteration, and knows the
+per-round communication overhead of Sec. 4.2.  Alternative placements (naive
+next-ranks, random) are included for the placement ablation the paper lists
+as future work.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..cluster.network import Topology
+from ..distributed.comm_context import CommunicationContext
+from ..distributed.partition import BlockRowPartition
+from ..utils.rng import RandomState, as_rng
+
+
+class BackupPlacement(enum.Enum):
+    """Strategy for choosing the backup nodes ``d_ik``."""
+
+    #: Eqn. (5): alternate +-1, +-2, ... ranks around the owner.
+    PAPER = "paper"
+    #: The next ``phi`` ranks ``i+1, ..., i+phi`` (mod N).
+    NEXT_RANKS = "next_ranks"
+    #: ``phi`` distinct ranks chosen uniformly at random (per owner).
+    RANDOM = "random"
+
+
+def paper_backup_target(owner: int, k: int, n_nodes: int) -> int:
+    """``d_ik`` of Eqn. (5) (1-based round index ``k``)."""
+    if k < 1:
+        raise ValueError(f"round index k must be >= 1, got {k}")
+    if k % 2 == 1:
+        return (owner + math.ceil(k / 2)) % n_nodes
+    return (owner - k // 2) % n_nodes
+
+
+def backup_targets(owner: int, phi: int, n_nodes: int,
+                   placement: BackupPlacement = BackupPlacement.PAPER,
+                   rng: Optional[RandomState] = None) -> List[int]:
+    """The ``phi`` backup nodes of *owner* under the chosen placement.
+
+    The targets are guaranteed to be distinct and different from the owner;
+    this requires ``phi < n_nodes``.
+    """
+    if not 0 <= owner < n_nodes:
+        raise ValueError(f"owner {owner} out of range for {n_nodes} nodes")
+    if phi < 0:
+        raise ValueError(f"phi must be non-negative, got {phi}")
+    if phi >= n_nodes:
+        raise ValueError(
+            f"phi must be smaller than the number of nodes ({phi} >= {n_nodes}): "
+            "fewer than phi+1 distinct nodes cannot hold phi+1 copies"
+        )
+    if placement is BackupPlacement.PAPER:
+        targets = [paper_backup_target(owner, k, n_nodes) for k in range(1, phi + 1)]
+    elif placement is BackupPlacement.NEXT_RANKS:
+        targets = [(owner + k) % n_nodes for k in range(1, phi + 1)]
+    else:
+        rng = as_rng(rng if rng is not None else owner)
+        candidates = [r for r in range(n_nodes) if r != owner]
+        idx = rng.choice(len(candidates), size=phi, replace=False)
+        targets = [candidates[int(t)] for t in idx]
+    if len(set(targets)) != len(targets) or owner in targets:
+        raise AssertionError(
+            f"invalid backup targets {targets} for owner {owner} (N={n_nodes})"
+        )
+    return targets
+
+
+@dataclass(frozen=True)
+class OwnerRedundancy:
+    """Redundancy bookkeeping for one owner node ``i``."""
+
+    owner: int
+    #: Backup ranks ``d_i1 .. d_iphi`` in round order.
+    targets: Tuple[int, ...]
+    #: Per round ``k`` (0-based list index): global indices of ``R^c_ik``.
+    extra_indices: Tuple[np.ndarray, ...]
+    #: ``m_i(s)`` per local element.
+    multiplicity: np.ndarray
+    #: ``g_i(s)`` per local element (copies landing on designated backups anyway).
+    natural_backup_count: np.ndarray
+
+    @property
+    def extra_counts(self) -> List[int]:
+        """``|R^c_ik|`` per round."""
+        return [int(idx.size) for idx in self.extra_indices]
+
+    @property
+    def total_extra(self) -> int:
+        return int(sum(self.extra_counts))
+
+
+class RedundancyScheme:
+    """Computes and stores the multi-failure redundancy sets of Sec. 4.1."""
+
+    def __init__(self, context: CommunicationContext, phi: int, *,
+                 placement: BackupPlacement = BackupPlacement.PAPER,
+                 rng: Optional[RandomState] = None):
+        if phi < 0:
+            raise ValueError(f"phi must be non-negative, got {phi}")
+        self.context = context
+        self.partition: BlockRowPartition = context.partition
+        self.phi = int(phi)
+        self.placement = placement
+        n_nodes = self.partition.n_parts
+        if phi >= n_nodes:
+            raise ValueError(
+                f"phi={phi} requires at least phi+1={phi + 1} nodes, "
+                f"but the cluster has {n_nodes}"
+            )
+        self._rng = rng
+        self._owners: Dict[int, OwnerRedundancy] = {}
+        for owner in range(n_nodes):
+            self._owners[owner] = self._compute_owner(owner)
+
+    # -- per-owner computation -------------------------------------------------
+    def _compute_owner(self, owner: int) -> OwnerRedundancy:
+        partition = self.partition
+        n_nodes = partition.n_parts
+        start, _stop = partition.range_of(owner)
+        size = partition.size_of(owner)
+        multiplicity = self.context.multiplicity(owner).copy()
+
+        targets = backup_targets(owner, self.phi, n_nodes, self.placement,
+                                 rng=self._rng)
+
+        # Membership masks: does backup d_ik naturally receive element s?
+        member = np.zeros((self.phi, size), dtype=bool)
+        for k0, target in enumerate(targets):
+            idx = self.context.send_indices(owner, target)
+            if idx.size:
+                member[k0, idx - start] = True
+        natural_backup_count = member.sum(axis=0).astype(np.int64)
+
+        extras: List[np.ndarray] = []
+        for k0 in range(self.phi):
+            k = k0 + 1  # Eqn. (6) uses 1-based round indices
+            need_mask = (~member[k0]) & (
+                multiplicity - natural_backup_count <= self.phi - k
+            )
+            extras.append(np.nonzero(need_mask)[0].astype(np.int64) + start)
+        return OwnerRedundancy(
+            owner=owner,
+            targets=tuple(targets),
+            extra_indices=tuple(extras),
+            multiplicity=multiplicity,
+            natural_backup_count=natural_backup_count,
+        )
+
+    # -- queries ------------------------------------------------------------------
+    def owner(self, rank: int) -> OwnerRedundancy:
+        return self._owners[rank]
+
+    def targets_of(self, owner: int) -> Tuple[int, ...]:
+        """Backup ranks of *owner* in round order."""
+        return self._owners[owner].targets
+
+    def extra_indices(self, owner: int, round_k: int) -> np.ndarray:
+        """``R^c_ik`` (global indices) for 1-based round ``round_k``."""
+        if not 1 <= round_k <= self.phi:
+            raise ValueError(f"round_k must be in [1, {self.phi}], got {round_k}")
+        return self._owners[owner].extra_indices[round_k - 1]
+
+    def extra_count(self, owner: int, round_k: int) -> int:
+        return int(self.extra_indices(owner, round_k).size)
+
+    def max_extra_per_round(self) -> List[int]:
+        """``max_i |R^c_ik|`` per round (Sec. 4.2)."""
+        return [
+            max((self.extra_count(owner, k) for owner in self._owners), default=0)
+            for k in range(1, self.phi + 1)
+        ]
+
+    def total_extra_elements(self) -> int:
+        """Total extra elements shipped per iteration across all nodes/rounds."""
+        return sum(o.total_extra for o in self._owners.values())
+
+    def chen_single_failure_sets(self) -> Dict[int, np.ndarray]:
+        """Chen's original scheme: ``R^c_i = {s : m_i(s) = 0}`` sent to rank i+1."""
+        return {
+            owner: self.context.unsent_indices(owner)
+            for owner in self._owners
+        }
+
+    # -- held-element pattern (what each node stores after the exchange) ----------------
+    def held_pattern(self) -> Dict[Tuple[int, int], np.ndarray]:
+        """Map ``(owner, holder) -> global indices`` the holder keeps per iteration.
+
+        The holder keeps the union of what it receives naturally for the SpMV
+        (``S_ik``) and the extras it receives as a designated backup
+        (``R^c_ik``).  The ESR protocol snapshots exactly these values for the
+        two most recent search directions.
+        """
+        pattern: Dict[Tuple[int, int], np.ndarray] = {}
+        for owner, info in self._owners.items():
+            # natural receivers
+            for holder in self.context.receivers_of(owner):
+                pattern[(owner, holder)] = self.context.send_indices(owner, holder)
+            # designated backups (merge extras into whatever they already get)
+            for k0, holder in enumerate(info.targets):
+                extra = info.extra_indices[k0]
+                if extra.size == 0:
+                    continue
+                existing = pattern.get((owner, holder))
+                if existing is None:
+                    pattern[(owner, holder)] = extra
+                else:
+                    pattern[(owner, holder)] = np.union1d(existing, extra)
+        return pattern
+
+    def copy_count(self, owner: int) -> np.ndarray:
+        """Number of distinct non-owner nodes holding each element of *owner*.
+
+        This is the quantity the redundancy invariant bounds from below by
+        ``phi``; it is exercised directly by the property tests.
+        """
+        start, _ = self.partition.range_of(owner)
+        size = self.partition.size_of(owner)
+        counts = np.zeros(size, dtype=np.int64)
+        for (own, _holder), idx in self.held_pattern().items():
+            if own == owner and idx.size:
+                counts[idx - start] += 1
+        return counts
+
+    def verify_invariant(self) -> bool:
+        """True if every element has at least ``phi`` off-node copies."""
+        if self.phi == 0:
+            return True
+        return all(
+            bool(np.all(self.copy_count(owner) >= self.phi))
+            for owner in self._owners
+        )
+
+    # -- communication overhead (Sec. 4.2) ---------------------------------------------
+    def round_overhead_times(self, topology: Topology, model) -> List[float]:
+        """Per-round redundancy overhead ``max_i (lambda_ik? + |R^c_ik| mu)``.
+
+        The latency term is only paid when the extras cannot piggyback on an
+        SpMV message that goes to the same backup anyway (``S_{i,d_ik}``
+        empty), exactly as analysed in Sec. 4.2.
+        """
+        times: List[float] = []
+        for k in range(1, self.phi + 1):
+            worst = 0.0
+            for owner, info in self._owners.items():
+                target = info.targets[k - 1]
+                extra = self.extra_count(owner, k)
+                if extra == 0:
+                    continue
+                piggyback = self.context.send_count(owner, target) > 0
+                latency = 0.0 if piggyback else topology.latency(owner, target)
+                cost = latency + extra * model.element_transfer_time
+                worst = max(worst, cost)
+            times.append(worst)
+        return times
+
+    def per_iteration_overhead_time(self, topology: Topology, model) -> float:
+        """Total redundancy overhead per iteration (sum of the round maxima)."""
+        return float(sum(self.round_overhead_times(topology, model)))
+
+    def overhead_bounds(self, topology: Topology, model) -> Tuple[float, float]:
+        """Lower/upper bounds of Sec. 4.2: ``[max_i sum_k |R^c_ik| mu, phi (lambda_max + ceil(n/N) mu)]``."""
+        mu = model.element_transfer_time
+        lower = max(
+            (sum(info.extra_counts) for info in self._owners.values()), default=0
+        ) * mu
+        upper = self.phi * (
+            topology.max_latency() + self.partition.max_block_size() * mu
+        )
+        return float(lower), float(upper)
+
+    def extra_traffic_per_iteration(self) -> Tuple[int, int]:
+        """``(messages, elements)`` of extra redundancy traffic per iteration."""
+        messages = 0
+        elements = 0
+        for owner, info in self._owners.items():
+            for k0, target in enumerate(info.targets):
+                extra = info.extra_counts[k0]
+                if extra == 0:
+                    continue
+                elements += extra
+                if self.context.send_count(owner, target) == 0:
+                    messages += 1
+        return messages, elements
+
+    def describe(self) -> str:
+        total = self.total_extra_elements()
+        return (
+            f"RedundancyScheme(phi={self.phi}, placement={self.placement.value}, "
+            f"extra_elements_per_iteration={total})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return self.describe()

@@ -1,0 +1,165 @@
+"""The resilient PCG solver: PCG + ESR redundancy + multi-failure recovery.
+
+:class:`ResilientPCG` extends the distributed PCG solver with
+
+* the ESR protocol of Sec. 4.1 -- after every SpMV, ``phi`` redundant copies
+  of each block of the two most recent search directions are kept on the
+  backup nodes selected by Eqn. (5), shipping only the minimal extra sets of
+  Eqn. (6);
+* failure handling -- when the failure injector strikes (possibly several
+  nodes simultaneously, possibly again during a running recovery), the ULFM
+  runtime provides replacement nodes and the ESR reconstruction restores the
+  exact solver state before iterating on.
+
+A failure-free run of this class (with ``phi >= 1``) measures the
+"relative overhead undisturbed" column of Table 2; runs with injected
+failures measure the reconstruction time and the "overhead with failures"
+columns.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..cluster.failure import FailureInjector
+from ..distributed.comm_context import CommunicationContext
+from ..distributed.dmatrix import DistributedMatrix
+from ..distributed.dvector import DistributedVector
+from ..precond.base import Preconditioner, PreconditionerForm
+from ..utils.logging import get_logger
+from .esr import ESRProtocol
+from .pcg import DistributedPCG, DistributedSolveResult
+from .reconstruction import ESRReconstructor, RecoveryReport
+from .redundancy import BackupPlacement, RedundancyScheme
+
+logger = get_logger("core.resilient_pcg")
+
+
+class ResilientPCG(DistributedPCG):
+    """PCG protected against up to ``phi`` simultaneous/overlapping node failures.
+
+    Parameters
+    ----------
+    matrix, rhs, preconditioner:
+        As for :class:`~repro.core.pcg.DistributedPCG`; the preconditioner
+        must be block-diagonal (the paper uses block Jacobi).
+    phi:
+        Number of redundant copies kept per search-direction block, i.e. the
+        maximum number of simultaneous or overlapping node failures the
+        solver can tolerate.  Must satisfy ``0 <= phi < N``.
+    placement:
+        Backup-node placement strategy (Eqn. (5) by default).
+    failure_injector:
+        Optional schedule of failure events to strike during the solve.
+    local_solver_method, local_rtol:
+        Configuration of the reconstruction's local subsystem solver
+        (``"pcg_ilu"`` with ``1e-14`` in the paper).
+    reconstruction_form:
+        Force a particular reconstruction variant (``P`` given / ``M`` given /
+        split); by default the preconditioner's natural form is used.
+    """
+
+    vector_prefix = "resilient_pcg"
+
+    def __init__(self, matrix: DistributedMatrix, rhs: DistributedVector,
+                 preconditioner: Optional[Preconditioner] = None, *,
+                 phi: int = 1,
+                 placement: BackupPlacement = BackupPlacement.PAPER,
+                 failure_injector: Optional[FailureInjector] = None,
+                 local_solver_method: str = "pcg_ilu",
+                 local_rtol: float = 1e-14,
+                 reconstruction_form: Optional[PreconditionerForm] = None,
+                 rtol: float = 1e-8, atol: float = 0.0,
+                 max_iterations: Optional[int] = None,
+                 context: Optional[CommunicationContext] = None):
+        super().__init__(matrix, rhs, preconditioner, rtol=rtol, atol=atol,
+                         max_iterations=max_iterations, context=context)
+        if phi < 0:
+            raise ValueError(f"phi must be non-negative, got {phi}")
+        if failure_injector is not None:
+            worst = failure_injector.max_simultaneous_failures()
+            if worst > phi:
+                logger.warning(
+                    "failure schedule contains %d simultaneous failures but "
+                    "phi=%d redundant copies are kept; recovery may fail",
+                    worst, phi,
+                )
+        self.phi = int(phi)
+        self.placement = placement
+        self.scheme = RedundancyScheme(self.context, self.phi, placement=placement)
+        self.esr = ESRProtocol(self.cluster, self.context, self.phi,
+                               placement=placement, scheme=self.scheme)
+        self.reconstructor = ESRReconstructor(
+            self.cluster, self.matrix, self.rhs, self.preconditioner,
+            self.context, self.esr,
+            local_solver_method=local_solver_method,
+            local_rtol=local_rtol,
+            reconstruction_form=reconstruction_form,
+        )
+        self.failure_injector = failure_injector
+        self.recovery_reports: List[RecoveryReport] = []
+
+    # -- hooks ------------------------------------------------------------------
+    def _after_spmv(self, iteration: int) -> None:
+        """Keep the redundant copies and replicate the recurrence scalar."""
+        self.esr.after_spmv(self.p, iteration)
+        self.esr.store_replicated_scalars(iteration, beta=self.beta_prev)
+
+    def _handle_failures(self, iteration: int) -> bool:
+        """Trigger due failure events and run the ESR reconstruction."""
+        if self.failure_injector is None:
+            return False
+        due = self.failure_injector.events_due(iteration, overlapping=False)
+        if not due:
+            return False
+        failed_ranks: List[int] = []
+        for idx, event in due:
+            self.failure_injector.trigger(idx, self.cluster.nodes)
+            failed_ranks.extend(event.ranks)
+            logger.info("iteration %d: node failure of ranks %s%s",
+                        iteration, list(event.ranks),
+                        f" ({event.label})" if event.label else "")
+        newly_detected = self.cluster.ulfm.detect_failures()
+        failed_ranks = sorted(set(failed_ranks) | set(newly_detected))
+        self.cluster.comm.drop_messages_to_failed()
+
+        report = self.reconstructor.reconstruct(
+            failed_ranks,
+            iteration=iteration,
+            x=self.x, r=self.r, z=self.z, p=self.p,
+            beta_fallback=self.beta_prev,
+            overlap_provider=self._make_overlap_provider(iteration),
+        )
+        self.recovery_reports.append(report)
+        record = self.cluster.ulfm.begin_recovery(iteration, report.failed_ranks)
+        record.restarts = report.restarts
+        record.simulated_time = report.simulated_time
+        record.wallclock_time = report.wallclock_time
+        return True
+
+    def _make_overlap_provider(self, iteration: int):
+        """Closure handing overlapping-failure events to the reconstructor."""
+
+        def provider() -> List[int]:
+            if self.failure_injector is None:
+                return []
+            due = self.failure_injector.events_due(iteration, overlapping=True)
+            ranks: List[int] = []
+            for idx, event in due:
+                self.failure_injector.trigger(idx, self.cluster.nodes)
+                ranks.extend(event.ranks)
+            if ranks:
+                self.cluster.ulfm.detect_failures()
+                self.cluster.comm.drop_messages_to_failed()
+            return sorted(set(ranks))
+
+        return provider
+
+    # -- result assembly ------------------------------------------------------------
+    def solve(self, x0=None) -> DistributedSolveResult:
+        result = super().solve(x0)
+        result.info["phi"] = self.phi
+        result.info["placement"] = self.placement.value
+        result.info["redundancy"] = self.esr.overhead_summary()
+        result.recoveries = list(self.recovery_reports)
+        return result

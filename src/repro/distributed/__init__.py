@@ -1,0 +1,30 @@
+"""Distributed sparse linear algebra on the virtual cluster.
+
+Block-row partitions, distributed vectors and matrices with node-local
+storage, SpMV communication contexts (generalized scatters) and the
+distributed SpMV kernel.
+"""
+
+from .comm_context import CommunicationContext, ScatterEdge
+from .dmatrix import DistributedMatrix
+from .dvector import DistributedVector, swap_names
+from .partition import BlockRowPartition
+from .spmv import (
+    distributed_spmv,
+    ghost_values_for,
+    halo_exchange_cost,
+    spmv_compute_cost,
+)
+
+__all__ = [
+    "BlockRowPartition",
+    "DistributedVector",
+    "DistributedMatrix",
+    "CommunicationContext",
+    "ScatterEdge",
+    "distributed_spmv",
+    "ghost_values_for",
+    "halo_exchange_cost",
+    "spmv_compute_cost",
+    "swap_names",
+]

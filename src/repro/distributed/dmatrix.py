@@ -1,0 +1,190 @@
+"""Distributed sparse matrices in block-row layout.
+
+A :class:`DistributedMatrix` stores, for every node, the CSR block of the rows
+that node owns (shape ``(n_i, n)``), inside the node's private memory.  Since
+the system matrix and the preconditioner are *static* data (Sec. 1.1.2), each
+row block is additionally deposited in the cluster's reliable storage so that
+replacement nodes can re-retrieve it during reconstruction -- which is charged
+to the recovery phase of the cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..cluster.cluster import VirtualCluster
+from ..utils.validation import check_square
+from .partition import BlockRowPartition
+
+#: Memory key prefix under which matrix row blocks are stored on each node.
+_MAT_KEY = "mat"
+
+
+class DistributedMatrix:
+    """A block-row distributed sparse matrix."""
+
+    def __init__(self, cluster: VirtualCluster, partition: BlockRowPartition,
+                 name: str):
+        if partition.n_parts != cluster.n_nodes:
+            raise ValueError(
+                f"partition has {partition.n_parts} parts but cluster has "
+                f"{cluster.n_nodes} nodes"
+            )
+        self.cluster = cluster
+        self.partition = partition
+        self.name = name
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def from_global(cls, cluster: VirtualCluster, partition: BlockRowPartition,
+                    name: str, matrix, *, keep_in_storage: bool = True
+                    ) -> "DistributedMatrix":
+        """Distribute a global sparse matrix over the cluster (setup phase).
+
+        Parameters
+        ----------
+        matrix:
+            Any SciPy sparse matrix (or dense array) of shape ``(n, n)`` with
+            ``n == partition.n``.
+        keep_in_storage:
+            Also deposit each row block in reliable storage so it can be
+            retrieved by replacement nodes after a failure (default: true,
+            matching the paper's assumption for static data).
+        """
+        a = sp.csr_matrix(matrix)
+        check_square(a, name)
+        if a.shape[0] != partition.n:
+            raise ValueError(
+                f"matrix has {a.shape[0]} rows, partition expects {partition.n}"
+            )
+        dist = cls(cluster, partition, name)
+        for rank in range(partition.n_parts):
+            start, stop = partition.range_of(rank)
+            block = a[start:stop, :].tocsr()
+            block.sort_indices()
+            dist._set_row_block(rank, block)
+            if keep_in_storage:
+                cluster.storage.put_block(dist._storage_name(), rank, block)
+        return dist
+
+    def _storage_name(self) -> str:
+        return f"{_MAT_KEY}:{self.name}"
+
+    def _key(self) -> tuple:
+        return (_MAT_KEY, self.name)
+
+    def _set_row_block(self, rank: int, block: sp.csr_matrix) -> None:
+        self.cluster.node(rank).memory[self._key()] = block
+
+    # -- block access ------------------------------------------------------------
+    def row_block(self, rank: int) -> sp.csr_matrix:
+        """Rows owned by *rank* as a ``(n_i, n)`` CSR block (node memory)."""
+        return self.cluster.node(rank).memory[self._key()]
+
+    def row_block_from_storage(self, rank: int, *, charge: bool = True
+                               ) -> sp.csr_matrix:
+        """Re-retrieve the rows of *rank* from reliable storage (recovery path)."""
+        return self.cluster.storage.retrieve_block(
+            self._storage_name(), rank, charge=charge
+        )
+
+    def restore_block_to_node(self, rank: int, *, charge: bool = True) -> sp.csr_matrix:
+        """Fetch a row block from storage and install it on the (replacement) node."""
+        block = self.row_block_from_storage(rank, charge=charge)
+        self._set_row_block(rank, block)
+        return block
+
+    def has_block(self, rank: int) -> bool:
+        node = self.cluster.node(rank)
+        return node.is_alive and self._key() in node.memory
+
+    # -- structural queries ---------------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        return (self.partition.n, self.partition.n)
+
+    def nnz_of(self, rank: int) -> int:
+        """Stored non-zeros in the row block of *rank*."""
+        return int(self.row_block(rank).nnz)
+
+    def total_nnz(self) -> int:
+        return sum(self.nnz_of(rank) for rank in range(self.partition.n_parts))
+
+    def max_block_nnz(self) -> int:
+        """Largest per-node non-zero count (sets the SpMV compute pace)."""
+        return max(self.nnz_of(rank) for rank in range(self.partition.n_parts))
+
+    def needed_column_indices(self, rank: int) -> np.ndarray:
+        """Global column indices with non-zeros in *rank*'s row block.
+
+        These are exactly the vector elements node *rank* needs to compute its
+        part of ``A p`` -- the basis of the SpMV communication pattern
+        (Eqn. (1)/(2) of the paper).
+        """
+        block = self.row_block(rank)
+        return np.unique(block.indices.astype(np.int64))
+
+    def diagonal_block(self, rank: int) -> sp.csr_matrix:
+        """The square diagonal block ``A_{I_i, I_i}`` (used by block Jacobi)."""
+        start, stop = self.partition.range_of(rank)
+        return self.row_block(rank)[:, start:stop].tocsr()
+
+    def off_diagonal_nnz(self, rank: int) -> int:
+        """Non-zeros of *rank*'s rows that fall outside its diagonal block."""
+        return self.nnz_of(rank) - int(self.diagonal_block(rank).nnz)
+
+    def diagonal(self) -> np.ndarray:
+        """Global main diagonal assembled from the row blocks."""
+        diag = np.zeros(self.partition.n)
+        for rank in range(self.partition.n_parts):
+            start, stop = self.partition.range_of(rank)
+            block = self.row_block(rank)[:, start:stop]
+            diag[start:stop] = block.diagonal()
+        return diag
+
+    # -- global assembly (verification / recovery) -------------------------------------
+    def to_global(self) -> sp.csr_matrix:
+        """Assemble the full matrix on the driver (verification only)."""
+        blocks = [self.row_block(rank) for rank in range(self.partition.n_parts)]
+        return sp.vstack(blocks, format="csr")
+
+    def recovery_rows(self, ranks: Iterable[int], *, charge: bool = True
+                      ) -> sp.csr_matrix:
+        """``A_{I_f, I}`` for a set of failed ranks, pulled from reliable storage.
+
+        This is line 1 of the reconstruction (Alg. 2): the replacement nodes
+        retrieve the static rows they own from reliable storage.
+        """
+        ranks = sorted(set(int(r) for r in ranks))
+        blocks = [
+            self.row_block_from_storage(rank, charge=charge) for rank in ranks
+        ]
+        if not blocks:
+            return sp.csr_matrix((0, self.partition.n))
+        return sp.vstack(blocks, format="csr")
+
+    def submatrix(self, row_indices: np.ndarray, col_indices: np.ndarray,
+                  *, from_storage: bool = False, charge: bool = False
+                  ) -> sp.csr_matrix:
+        """Extract ``A[rows, cols]`` (verification and local-solve helper)."""
+        if from_storage:
+            owners = np.unique(self.partition.owner_of(row_indices))
+            rows = self.recovery_rows(owners, charge=charge)
+            offsets = self.partition.offsets
+            base = np.concatenate([
+                self.partition.indices_of(int(r)) for r in owners
+            ])
+            lookup = {int(g): i for i, g in enumerate(base)}
+            local_rows = np.array([lookup[int(g)] for g in row_indices])
+            return rows[local_rows, :][:, col_indices].tocsr()
+        full = self.to_global()
+        return full[row_indices, :][:, col_indices].tocsr()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"DistributedMatrix(name={self.name!r}, n={self.partition.n}, "
+            f"N={self.partition.n_parts})"
+        )

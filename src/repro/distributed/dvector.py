@@ -1,0 +1,270 @@
+"""Distributed vectors with node-local block storage.
+
+A :class:`DistributedVector` owns one NumPy block per node, stored inside that
+node's private :class:`~repro.cluster.node.NodeMemory`.  This is what makes
+the failure simulation meaningful: when a node fails, its block of every
+dynamic vector (``x``, ``r``, ``z``, ``p``, ``Ap``) is genuinely gone and any
+attempt to read it raises, so recovery code must obtain the data from
+redundant copies or recompute it.
+
+All arithmetic helpers charge the bulk-synchronous cost model: local work is
+charged as the maximum over the participating nodes, and reductions go through
+the communicator's allreduce (which charges the collective's cost).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..cluster.cluster import VirtualCluster
+from ..cluster.cost_model import Phase
+from ..cluster.errors import NodeFailedError
+from .partition import BlockRowPartition
+
+#: Memory key prefix under which vector blocks are stored on each node.
+_VEC_KEY = "vec"
+
+
+class DistributedVector:
+    """A block-row distributed vector living in node-local memories."""
+
+    def __init__(self, cluster: VirtualCluster, partition: BlockRowPartition,
+                 name: str):
+        if partition.n_parts != cluster.n_nodes:
+            raise ValueError(
+                f"partition has {partition.n_parts} parts but cluster has "
+                f"{cluster.n_nodes} nodes"
+            )
+        self.cluster = cluster
+        self.partition = partition
+        self.name = name
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def zeros(cls, cluster: VirtualCluster, partition: BlockRowPartition,
+              name: str) -> "DistributedVector":
+        """Create a distributed vector of zeros."""
+        vec = cls(cluster, partition, name)
+        for rank in range(partition.n_parts):
+            vec.set_block(rank, np.zeros(partition.size_of(rank)))
+        return vec
+
+    @classmethod
+    def from_global(cls, cluster: VirtualCluster, partition: BlockRowPartition,
+                    name: str, values: np.ndarray) -> "DistributedVector":
+        """Distribute a global array over the nodes (setup phase, not charged)."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (partition.n,):
+            raise ValueError(
+                f"expected a vector of length {partition.n}, got shape {values.shape}"
+            )
+        vec = cls(cluster, partition, name)
+        for rank in range(partition.n_parts):
+            start, stop = partition.range_of(rank)
+            vec.set_block(rank, values[start:stop].copy())
+        return vec
+
+    # -- block access ----------------------------------------------------------
+    def _key(self) -> tuple:
+        return (_VEC_KEY, self.name)
+
+    def get_block(self, rank: int) -> np.ndarray:
+        """Block owned by *rank*; raises ``NodeFailedError`` if that node failed."""
+        return self.cluster.node(rank).memory[self._key()]
+
+    def set_block(self, rank: int, values: np.ndarray) -> None:
+        """Overwrite the block owned by *rank*."""
+        values = np.asarray(values, dtype=np.float64)
+        expected = self.partition.size_of(rank)
+        if values.shape != (expected,):
+            raise ValueError(
+                f"block for rank {rank} must have shape ({expected},), "
+                f"got {values.shape}"
+            )
+        self.cluster.node(rank).memory[self._key()] = values
+
+    def has_block(self, rank: int) -> bool:
+        """True if *rank* is alive and holds a block of this vector."""
+        node = self.cluster.node(rank)
+        if not node.is_alive:
+            return False
+        return self._key() in node.memory
+
+    def available_ranks(self) -> List[int]:
+        """Ranks whose block is currently readable."""
+        return [r for r in range(self.partition.n_parts) if self.has_block(r)]
+
+    def lost_ranks(self) -> List[int]:
+        """Ranks whose block is unavailable (failed node or never written)."""
+        return [r for r in range(self.partition.n_parts) if not self.has_block(r)]
+
+    # -- global assembly (verification / recovery use) ---------------------------
+    def to_global(self, *, allow_missing: bool = False,
+                  fill_value: float = np.nan) -> np.ndarray:
+        """Assemble the global vector on the driver.
+
+        This is an orchestration/verification helper (it is *not* charged to
+        the cost model); the solvers themselves only use block access and
+        explicit communication.  With ``allow_missing=True`` the blocks of
+        failed nodes are replaced by ``fill_value`` instead of raising.
+        """
+        out = np.full(self.partition.n, fill_value, dtype=np.float64)
+        for rank in range(self.partition.n_parts):
+            start, stop = self.partition.range_of(rank)
+            try:
+                out[start:stop] = self.get_block(rank)
+            except (NodeFailedError, KeyError):
+                if not allow_missing:
+                    raise
+        return out
+
+    # -- elementwise / BLAS-1 operations ----------------------------------------
+    def _charge_vector_op(self, flops_per_element: float = 2.0,
+                          phase: str = Phase.VECTOR_COMPUTE) -> None:
+        model = self.cluster.ledger.model
+        self.cluster.ledger.add_time(
+            phase,
+            model.vector_op_time(self.partition.max_block_size(), flops_per_element),
+        )
+
+    def copy(self, name: str) -> "DistributedVector":
+        """Deep copy under a new name (charged as a streaming vector op)."""
+        out = DistributedVector(self.cluster, self.partition, name)
+        for rank in range(self.partition.n_parts):
+            out.set_block(rank, self.get_block(rank).copy())
+        self._charge_vector_op(1.0)
+        return out
+
+    def fill(self, value: float) -> "DistributedVector":
+        """Set every element to *value*."""
+        for rank in range(self.partition.n_parts):
+            block = self.get_block(rank)
+            block[:] = value
+        self._charge_vector_op(1.0)
+        return self
+
+    def scale(self, alpha: float) -> "DistributedVector":
+        """In-place ``self *= alpha``."""
+        for rank in range(self.partition.n_parts):
+            self.get_block(rank)[:] *= alpha
+        self._charge_vector_op(1.0)
+        return self
+
+    def axpy(self, alpha: float, x: "DistributedVector") -> "DistributedVector":
+        """In-place ``self += alpha * x``."""
+        self._check_compatible(x)
+        for rank in range(self.partition.n_parts):
+            self.get_block(rank)[:] += alpha * x.get_block(rank)
+        self._charge_vector_op(2.0)
+        return self
+
+    def aypx(self, alpha: float, x: "DistributedVector") -> "DistributedVector":
+        """In-place ``self = x + alpha * self`` (the PCG search-direction update)."""
+        self._check_compatible(x)
+        for rank in range(self.partition.n_parts):
+            block = self.get_block(rank)
+            block[:] = x.get_block(rank) + alpha * block
+        self._charge_vector_op(2.0)
+        return self
+
+    def assign(self, other: "DistributedVector") -> "DistributedVector":
+        """In-place copy of *other*'s values into this vector."""
+        self._check_compatible(other)
+        for rank in range(self.partition.n_parts):
+            self.get_block(rank)[:] = other.get_block(rank)
+        self._charge_vector_op(1.0)
+        return self
+
+    def pointwise_multiply(self, other: "DistributedVector",
+                           name: str) -> "DistributedVector":
+        """Elementwise product (used by the Jacobi preconditioner)."""
+        self._check_compatible(other)
+        out = DistributedVector(self.cluster, self.partition, name)
+        for rank in range(self.partition.n_parts):
+            out.set_block(rank, self.get_block(rank) * other.get_block(rank))
+        self._charge_vector_op(1.0)
+        return out
+
+    # -- reductions ---------------------------------------------------------------
+    def dot(self, other: "DistributedVector", *, alive_only: bool = False) -> float:
+        """Global dot product via local dots + allreduce."""
+        self._check_compatible(other)
+        contributions: Dict[int, float] = {}
+        for rank in range(self.partition.n_parts):
+            node = self.cluster.node(rank)
+            if alive_only and not node.is_alive:
+                continue
+            contributions[rank] = float(
+                self.get_block(rank) @ other.get_block(rank)
+            )
+        self._charge_vector_op(2.0)
+        return float(
+            self.cluster.comm.allreduce_sum(contributions, alive_only=alive_only)
+        )
+
+    def norm2(self, *, alive_only: bool = False) -> float:
+        """Euclidean norm (dot with itself, then square root)."""
+        return float(np.sqrt(max(self.dot(self, alive_only=alive_only), 0.0)))
+
+    def local_norm2(self, rank: int) -> float:
+        """Norm of a single block (no communication; used in diagnostics)."""
+        return float(np.linalg.norm(self.get_block(rank)))
+
+    # -- maintenance ------------------------------------------------------------------
+    def delete(self) -> None:
+        """Remove this vector's blocks from all alive nodes."""
+        for rank in range(self.partition.n_parts):
+            node = self.cluster.node(rank)
+            if node.is_alive and self._key() in node.memory:
+                del node.memory[self._key()]
+
+    def rename(self, new_name: str) -> "DistributedVector":
+        """Rename the vector (moves every block under the new key)."""
+        old_key = self._key()
+        self.name = new_name
+        for rank in range(self.partition.n_parts):
+            node = self.cluster.node(rank)
+            if node.is_alive and old_key in node.memory:
+                node.memory[self._key()] = node.memory.pop(old_key)
+        return self
+
+    def _check_compatible(self, other: "DistributedVector") -> None:
+        if other.cluster is not self.cluster:
+            raise ValueError("vectors live on different clusters")
+        if not self.partition.is_compatible_with(other.partition):
+            raise ValueError(
+                "vectors have incompatible partitions: "
+                f"{self.partition} vs {other.partition}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"DistributedVector(name={self.name!r}, n={self.partition.n}, "
+            f"N={self.partition.n_parts})"
+        )
+
+
+def swap_names(a: DistributedVector, b: DistributedVector) -> None:
+    """Swap the storage of two distributed vectors without copying data.
+
+    Used by the solvers to rotate ``p^(j)`` / ``p^(j-1)`` style pairs cheaply.
+    """
+    if a.cluster is not b.cluster or not a.partition.is_compatible_with(b.partition):
+        raise ValueError("can only swap vectors on the same cluster/partition")
+    for rank in range(a.partition.n_parts):
+        node = a.cluster.node(rank)
+        if not node.is_alive:
+            continue
+        key_a, key_b = a._key(), b._key()
+        block_a = node.memory.get(key_a)
+        block_b = node.memory.get(key_b)
+        if block_b is not None:
+            node.memory[key_a] = block_b
+        elif key_a in node.memory:
+            del node.memory[key_a]
+        if block_a is not None:
+            node.memory[key_b] = block_a
+        elif key_b in node.memory:
+            del node.memory[key_b]

@@ -1,0 +1,21 @@
+"""Failure scenarios and schedules for the resilience experiments."""
+
+from .scenarios import (
+    PAPER_FAILURE_COUNTS,
+    PAPER_PROGRESS_FRACTIONS,
+    FailureLocation,
+    FailureScenario,
+    OverlapSpec,
+    paper_scenarios,
+    resolve_events,
+)
+
+__all__ = [
+    "FailureScenario",
+    "FailureLocation",
+    "OverlapSpec",
+    "resolve_events",
+    "paper_scenarios",
+    "PAPER_FAILURE_COUNTS",
+    "PAPER_PROGRESS_FRACTIONS",
+]

@@ -1,0 +1,388 @@
+"""Experiment runner mirroring the paper's evaluation methodology (Sec. 7.1).
+
+The paper measures, per test matrix:
+
+* ``t0`` -- the runtime of plain (non-resilient) PCG, averaged over >= 5 runs;
+* the *undisturbed* overhead of the resilient solver keeping phi in {1, 3, 8}
+  redundant copies but experiencing no failure;
+* the *reconstruction time* and the *total overhead* when psi = phi nodes
+  fail simultaneously at 20 %, 50 % or 80 % of the solver's progress, with the
+  failed nodes clustered at the start or the center of the vector.
+
+The functions here run exactly those configurations on the virtual cluster
+(runtime = simulated time from the latency-bandwidth cost model; wall-clock is
+recorded as well), repeat them with independent RNG streams, and aggregate
+mean and standard deviation.  A :class:`MatrixStudy` bundles every run needed
+for one matrix's rows in Tables 2/3 and its panels in Figures 1-4.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..cluster.cost_model import MachineModel
+from ..core.api import distribute_problem, resilient_solve, reference_solve
+from ..core.metrics import residual_difference_of
+from ..core.pcg import DistributedSolveResult
+from ..core.redundancy import BackupPlacement
+from ..failures.scenarios import (
+    PAPER_FAILURE_COUNTS,
+    PAPER_PROGRESS_FRACTIONS,
+    FailureLocation,
+    FailureScenario,
+    resolve_events,
+)
+from ..matrices.suite import build_matrix, get_record
+from ..utils.logging import get_logger
+from ..utils.rng import as_rng, stable_hash_seed
+
+logger = get_logger("harness.experiment")
+
+
+# ---------------------------------------------------------------------------
+# configuration
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ExperimentConfig:
+    """Configuration shared by all runs of one matrix study."""
+
+    #: Suite matrix id ("M1" ... "M8"); ignored if ``matrix`` is given.
+    matrix_id: str = "M5"
+    #: Explicit matrix (overrides ``matrix_id``/``matrix_size``).
+    matrix: Optional[sp.spmatrix] = None
+    #: Target size of the synthetic analogue (None = suite default).
+    matrix_size: Optional[int] = None
+    #: Number of virtual compute nodes (the paper uses 128; scaled default 16).
+    n_nodes: int = 16
+    preconditioner: str = "block_jacobi"
+    rtol: float = 1e-8
+    max_iterations: Optional[int] = None
+    #: Independent repetitions per configuration (>= 5 in the paper).
+    repetitions: int = 3
+    seed: int = 0
+    #: Relative run-to-run noise of the simulated machine.
+    jitter_rel_std: float = 0.02
+    placement: BackupPlacement = BackupPlacement.PAPER
+    local_solver_method: str = "pcg_ilu"
+    local_rtol: float = 1e-14
+    machine: Optional[MachineModel] = None
+    #: Rows per node the paper's experiments had (~10k for n~1.3M on 128
+    #: nodes).  The machine model is scaled so a run on the scaled-down
+    #: analogue reproduces the compute/latency balance of that regime; set to
+    #: 0 to disable the calibration.
+    target_rows_per_node: int = 8000
+
+    def build_matrix(self) -> sp.csr_matrix:
+        """The (cached) global system matrix for this study."""
+        if self.matrix is not None:
+            return sp.csr_matrix(self.matrix)
+        return build_matrix(self.matrix_id, n=self.matrix_size, seed=self.seed)
+
+    def build_machine(self, n: Optional[int] = None) -> MachineModel:
+        """Machine model with the configured jitter (and size calibration)."""
+        if self.machine is not None:
+            return self.machine
+        model = MachineModel(jitter_rel_std=self.jitter_rel_std)
+        if n and self.target_rows_per_node:
+            rows_per_node = max(n / self.n_nodes, 1.0)
+            factor = max(self.target_rows_per_node / rows_per_node, 1.0)
+            if factor > 1.0:
+                model = model.scaled(factor)
+        return model
+
+    def label(self) -> str:
+        if self.matrix is not None:
+            return f"custom(n={self.matrix.shape[0]})"
+        return self.matrix_id
+
+
+# ---------------------------------------------------------------------------
+# per-run and aggregated results
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RepetitionResult:
+    """Measurements of a single solver run."""
+
+    simulated_time: float
+    iteration_time: float
+    recovery_time: float
+    redundancy_time: float
+    wallclock_time: float
+    iterations: int
+    converged: bool
+    residual_deviation: float
+    n_failures: int
+
+    @classmethod
+    def from_solve(cls, result: DistributedSolveResult,
+                   wallclock: float) -> "RepetitionResult":
+        breakdown = result.time_breakdown
+        return cls(
+            simulated_time=result.simulated_time,
+            iteration_time=result.simulated_iteration_time,
+            recovery_time=result.simulated_recovery_time,
+            redundancy_time=breakdown.get("comm.redundancy", 0.0),
+            wallclock_time=wallclock,
+            iterations=result.iterations,
+            converged=result.converged,
+            residual_deviation=residual_difference_of(result),
+            n_failures=result.n_failures_recovered,
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """Aggregate of several repetitions of one configuration."""
+
+    label: str
+    repetitions: List[RepetitionResult] = field(default_factory=list)
+
+    def _values(self, attr: str) -> np.ndarray:
+        return np.array([getattr(r, attr) for r in self.repetitions], dtype=float)
+
+    # -- aggregate accessors -------------------------------------------------
+    @property
+    def n(self) -> int:
+        return len(self.repetitions)
+
+    def mean(self, attr: str = "simulated_time") -> float:
+        values = self._values(attr)
+        return float(values.mean()) if values.size else float("nan")
+
+    def std(self, attr: str = "simulated_time") -> float:
+        values = self._values(attr)
+        if values.size < 2:
+            return 0.0
+        return float(values.std(ddof=1))
+
+    def times(self) -> List[float]:
+        """Raw simulated runtimes (used for the box plots of Figs. 1-4)."""
+        return [r.simulated_time for r in self.repetitions]
+
+    @property
+    def mean_iterations(self) -> float:
+        return self.mean("iterations")
+
+    @property
+    def all_converged(self) -> bool:
+        return all(r.converged for r in self.repetitions)
+
+    def max_abs_residual_deviation(self) -> float:
+        values = [r.residual_deviation for r in self.repetitions
+                  if np.isfinite(r.residual_deviation)]
+        if not values:
+            return float("nan")
+        return max(values, key=abs)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "label": self.label,
+            "n": self.n,
+            "mean_time": self.mean(),
+            "std_time": self.std(),
+            "mean_recovery_time": self.mean("recovery_time"),
+            "mean_iterations": self.mean_iterations,
+            "all_converged": self.all_converged,
+        }
+
+
+# ---------------------------------------------------------------------------
+# running configurations
+# ---------------------------------------------------------------------------
+
+def _repetition_seed(config: ExperimentConfig, kind: str, phi: int,
+                     scenario_key: str, rep: int) -> int:
+    return stable_hash_seed(config.label(), kind, phi, scenario_key, rep,
+                            base_seed=config.seed)
+
+
+def _single_run(config: ExperimentConfig, matrix: sp.csr_matrix, *,
+                phi: Optional[int], scenario: Optional[FailureScenario],
+                reference_iterations: Optional[int], rep_seed: int
+                ) -> DistributedSolveResult:
+    """One solver run on a freshly built cluster."""
+    problem = distribute_problem(
+        matrix, n_nodes=config.n_nodes,
+        machine=config.build_machine(matrix.shape[0]),
+        seed=rep_seed,
+    )
+    if phi is None:
+        return reference_solve(
+            problem, preconditioner=config.preconditioner, rtol=config.rtol,
+            max_iterations=config.max_iterations,
+        )
+    failures = ()
+    if scenario is not None:
+        if reference_iterations is None:
+            raise ValueError(
+                "scenario runs need the reference iteration count to place "
+                "the failure at the requested progress fraction"
+            )
+        failures = resolve_events(
+            scenario, n_nodes=config.n_nodes,
+            reference_iterations=reference_iterations,
+            rng=as_rng(rep_seed),
+        )
+    return resilient_solve(
+        problem, phi=phi, preconditioner=config.preconditioner,
+        failures=failures, placement=config.placement, rtol=config.rtol,
+        max_iterations=config.max_iterations,
+        local_solver_method=config.local_solver_method,
+        local_rtol=config.local_rtol,
+    )
+
+
+def _run_many(config: ExperimentConfig, label: str, *, phi: Optional[int],
+              scenario: Optional[FailureScenario],
+              reference_iterations: Optional[int],
+              kind: str) -> ExperimentResult:
+    matrix = config.build_matrix()
+    result = ExperimentResult(label=label)
+    scenario_key = scenario.describe() if scenario is not None else "none"
+    for rep in range(config.repetitions):
+        rep_seed = _repetition_seed(config, kind, phi or 0, scenario_key, rep)
+        start = time.perf_counter()
+        solve_result = _single_run(
+            config, matrix, phi=phi, scenario=scenario,
+            reference_iterations=reference_iterations, rep_seed=rep_seed,
+        )
+        wallclock = time.perf_counter() - start
+        result.repetitions.append(
+            RepetitionResult.from_solve(solve_result, wallclock)
+        )
+        logger.info("%s rep %d/%d: %s", label, rep + 1, config.repetitions,
+                    solve_result.summary())
+    return result
+
+
+def run_reference(config: ExperimentConfig) -> ExperimentResult:
+    """Plain PCG runs -- the paper's reference time ``t0``."""
+    return _run_many(config, f"{config.label()} reference", phi=None,
+                     scenario=None, reference_iterations=None, kind="reference")
+
+
+def run_failure_free(config: ExperimentConfig, phi: int) -> ExperimentResult:
+    """Resilient solver with phi copies but no failures ("undisturbed")."""
+    return _run_many(config, f"{config.label()} undisturbed phi={phi}", phi=phi,
+                     scenario=None, reference_iterations=None, kind="undisturbed")
+
+
+def run_with_failures(config: ExperimentConfig, phi: int,
+                      scenario: FailureScenario,
+                      reference_iterations: int) -> ExperimentResult:
+    """Resilient solver with an injected failure scenario."""
+    label = f"{config.label()} phi={phi} {scenario.describe()}"
+    return _run_many(config, label, phi=phi, scenario=scenario,
+                     reference_iterations=reference_iterations, kind="failures")
+
+
+def run_experiment(config: ExperimentConfig, *, phi: Optional[int] = None,
+                   scenario: Optional[FailureScenario] = None,
+                   reference_iterations: Optional[int] = None
+                   ) -> ExperimentResult:
+    """Generic dispatcher used by the benchmarks."""
+    if phi is None:
+        return run_reference(config)
+    if scenario is None:
+        return run_failure_free(config, phi)
+    if reference_iterations is None:
+        reference = run_reference(config)
+        reference_iterations = int(round(reference.mean_iterations))
+    return run_with_failures(config, phi, scenario, reference_iterations)
+
+
+# ---------------------------------------------------------------------------
+# full per-matrix study (everything Table 2/3 and Figs. 1-4 need)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class MatrixStudy:
+    """All runs for one matrix: reference, undisturbed, and failure runs."""
+
+    config: ExperimentConfig
+    reference: ExperimentResult
+    #: phi -> failure-free resilient runs.
+    undisturbed: Dict[int, ExperimentResult] = field(default_factory=dict)
+    #: (phi, location) -> runs with psi = phi failures (all progress fractions).
+    with_failures: Dict[Tuple[int, str], ExperimentResult] = field(default_factory=dict)
+
+    # -- Table 2 quantities ------------------------------------------------------
+    @property
+    def t0(self) -> float:
+        """Mean reference runtime."""
+        return self.reference.mean()
+
+    def undisturbed_overhead(self, phi: int) -> float:
+        """Relative overhead of the undisturbed resilient solver (percent)."""
+        return 100.0 * (self.undisturbed[phi].mean() - self.t0) / self.t0
+
+    def reconstruction_time(self, phi: int, location: str) -> Tuple[float, float]:
+        """Mean and std of the reconstruction time relative to t0 (percent)."""
+        runs = self.with_failures[(phi, location)]
+        values = 100.0 * runs._values("recovery_time") / self.t0
+        std = float(values.std(ddof=1)) if values.size > 1 else 0.0
+        return float(values.mean()), std
+
+    def overhead_with_failures(self, phi: int, location: str) -> Tuple[float, float]:
+        """Mean and std of the total overhead with failures relative to t0 (percent)."""
+        runs = self.with_failures[(phi, location)]
+        values = 100.0 * (runs._values("simulated_time") - self.t0) / self.t0
+        std = float(values.std(ddof=1)) if values.size > 1 else 0.0
+        return float(values.mean()), std
+
+    # -- Table 3 quantities ----------------------------------------------------------
+    def max_delta_esr(self) -> float:
+        """Largest Eqn.-(7) deviation over all failure experiments."""
+        values = []
+        for runs in self.with_failures.values():
+            v = runs.max_abs_residual_deviation()
+            if np.isfinite(v):
+                values.append(v)
+        if not values:
+            return float("nan")
+        return max(values, key=abs)
+
+    def delta_pcg(self) -> float:
+        """Eqn.-(7) deviation of the reference runs."""
+        return self.reference.max_abs_residual_deviation()
+
+
+def run_matrix_study(config: ExperimentConfig, *,
+                     phis: Sequence[int] = PAPER_FAILURE_COUNTS,
+                     locations: Sequence[FailureLocation] = (
+                         FailureLocation.START, FailureLocation.CENTER),
+                     fractions: Sequence[float] = PAPER_PROGRESS_FRACTIONS
+                     ) -> MatrixStudy:
+    """Run every configuration needed for one matrix's Table-2/3 rows.
+
+    ``phis`` values that are >= the node count are skipped (the scheme
+    requires ``phi < N``), mirroring how the paper's phi = 8 column only makes
+    sense on enough nodes.
+    """
+    phis = [phi for phi in phis if 0 < phi < config.n_nodes]
+    reference = run_reference(config)
+    reference_iterations = int(round(reference.mean_iterations))
+    study = MatrixStudy(config=config, reference=reference)
+    for phi in phis:
+        study.undisturbed[phi] = run_failure_free(config, phi)
+    for phi in phis:
+        for location in locations:
+            runs = ExperimentResult(
+                label=f"{config.label()} phi={phi} failures at {location.value}"
+            )
+            for fraction in fractions:
+                scenario = FailureScenario(
+                    n_failures=phi, progress_fraction=fraction, location=location
+                )
+                partial = run_with_failures(config, phi, scenario,
+                                            reference_iterations)
+                runs.repetitions.extend(partial.repetitions)
+            study.with_failures[(phi, location.value)] = runs
+    return study

@@ -1,0 +1,182 @@
+"""Builders and plain-text renderers for the paper's tables.
+
+* Table 1 -- the test matrices and their structural properties.
+* Table 2 -- reference time ``t0``, undisturbed overhead per phi,
+  reconstruction time and total overhead with psi = phi failures, per failure
+  location.
+* Table 3 -- the maximum relative residual deviation (Eqn. (7)) of the ESR
+  runs versus the reference PCG runs.
+
+The builders return plain lists of dictionaries so the benchmarks can assert
+on them and users can post-process them; the ``render_*`` functions produce
+aligned text tables comparable to the paper's layout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..matrices.suite import suite_table
+from .experiment import MatrixStudy
+
+
+# ---------------------------------------------------------------------------
+# generic text-table rendering
+# ---------------------------------------------------------------------------
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 *, title: str = "") -> str:
+    """Render a list of rows as an aligned plain-text table."""
+    str_rows = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if not np.isfinite(value):
+            return "n/a"
+        if value != 0 and (abs(value) < 1e-3 or abs(value) >= 1e5):
+            return f"{value:.2e}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+# ---------------------------------------------------------------------------
+# Table 1
+# ---------------------------------------------------------------------------
+
+def table1_rows(ids: Optional[List[str]] = None, n: Optional[int] = None,
+                seed: int = 0) -> List[Dict[str, object]]:
+    """Rows of Table 1: original matrices and their synthetic analogues."""
+    return suite_table(n=n, seed=seed, ids=ids)
+
+
+def render_table1(rows: Optional[List[Dict[str, object]]] = None, **kwargs) -> str:
+    rows = rows if rows is not None else table1_rows(**kwargs)
+    headers = ["Id", "Name", "Problem type", "orig n", "orig NNZ",
+               "analogue n", "analogue NNZ", "nnz/row"]
+    body = [
+        [r["id"], r["name"], r["problem_type"], f"{r['original_n']:,}",
+         f"{r['original_nnz']:,}", f"{r['analogue_n']:,}",
+         f"{r['analogue_nnz']:,}", f"{r['analogue_nnz_per_row']:.1f}"]
+        for r in rows
+    ]
+    return format_table(headers, body,
+                        title="Table 1: SPD test matrices (originals and analogues)")
+
+
+# ---------------------------------------------------------------------------
+# Table 2
+# ---------------------------------------------------------------------------
+
+def table2_rows(studies: Sequence[MatrixStudy]) -> List[Dict[str, object]]:
+    """Rows of Table 2, one per (matrix, failure location) pair."""
+    rows: List[Dict[str, object]] = []
+    for study in studies:
+        phis = sorted(study.undisturbed.keys())
+        locations = sorted({loc for (_phi, loc) in study.with_failures})
+        for location in locations:
+            row: Dict[str, object] = {
+                "id": study.config.label(),
+                "t0": study.t0,
+                "location": location,
+            }
+            for phi in phis:
+                row[f"undisturbed_overhead_phi{phi}"] = \
+                    study.undisturbed_overhead(phi)
+                if (phi, location) in study.with_failures:
+                    mean_rec, std_rec = study.reconstruction_time(phi, location)
+                    mean_tot, std_tot = study.overhead_with_failures(phi, location)
+                    row[f"reconstruction_phi{phi}"] = mean_rec
+                    row[f"reconstruction_phi{phi}_std"] = std_rec
+                    row[f"overhead_failures_phi{phi}"] = mean_tot
+                    row[f"overhead_failures_phi{phi}_std"] = std_tot
+            rows.append(row)
+    return rows
+
+
+def render_table2(studies: Sequence[MatrixStudy]) -> str:
+    rows = table2_rows(studies)
+    if not rows:
+        return "Table 2: (no studies)"
+    phis = sorted({
+        int(k.split("phi")[1]) for row in rows for k in row
+        if k.startswith("undisturbed_overhead_phi")
+    })
+    headers = ["Id", "t0 [s]", "Location"]
+    headers += [f"undist. ovh. phi={p} [%]" for p in phis]
+    headers += [f"recon. phi={p} [%]" for p in phis]
+    headers += [f"ovh. w/ fail. phi={p} [%]" for p in phis]
+    body = []
+    for row in rows:
+        line: List[object] = [row["id"], f"{row['t0']:.4g}", row["location"]]
+        for p in phis:
+            line.append(_fmt_pct(row.get(f"undisturbed_overhead_phi{p}")))
+        for p in phis:
+            line.append(_fmt_pm(row.get(f"reconstruction_phi{p}"),
+                                row.get(f"reconstruction_phi{p}_std")))
+        for p in phis:
+            line.append(_fmt_pm(row.get(f"overhead_failures_phi{p}"),
+                                row.get(f"overhead_failures_phi{p}_std")))
+        body.append(line)
+    return format_table(
+        headers, body,
+        title="Table 2: runtime overheads of the resilient PCG solver",
+    )
+
+
+def _fmt_pct(value) -> str:
+    if value is None or not np.isfinite(value):
+        return "-"
+    return f"{value:.1f}"
+
+
+def _fmt_pm(mean, std) -> str:
+    if mean is None or not np.isfinite(mean):
+        return "-"
+    if std is None or not np.isfinite(std):
+        return f"{mean:.1f}"
+    return f"{mean:.1f} +/- {std:.1f}"
+
+
+# ---------------------------------------------------------------------------
+# Table 3
+# ---------------------------------------------------------------------------
+
+def table3_rows(studies: Sequence[MatrixStudy]) -> List[Dict[str, object]]:
+    """Rows of Table 3: max Delta_ESR over failure runs vs. Delta_PCG."""
+    rows = []
+    for study in studies:
+        rows.append({
+            "id": study.config.label(),
+            "max_delta_esr": study.max_delta_esr(),
+            "delta_pcg": study.delta_pcg(),
+        })
+    return rows
+
+
+def render_table3(studies: Sequence[MatrixStudy]) -> str:
+    rows = table3_rows(studies)
+    headers = ["Id", "max Delta_ESR", "Delta_PCG"]
+    body = [
+        [r["id"], f"{r['max_delta_esr']:.3e}", f"{r['delta_pcg']:.3e}"]
+        for r in rows
+    ]
+    return format_table(
+        headers, body,
+        title="Table 3: relative residual deviation (Eqn. 7) after convergence",
+    )

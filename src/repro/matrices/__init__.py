@@ -1,0 +1,59 @@
+"""SPD test matrices: generators, the synthetic Table-1 suite, analysis, I/O."""
+
+from .generators import (
+    anisotropic_diffusion_2d,
+    banded_spd,
+    diagonally_dominant_spd,
+    elasticity_3d,
+    graph_laplacian_spd,
+    grid_dimensions_for,
+    poisson_1d,
+    poisson_2d,
+    poisson_2d_9point,
+    poisson_3d,
+    unstructured_mesh_spd,
+)
+from .mmio import read_matrix_market, read_vector, write_matrix_market
+from .properties import (
+    MatrixProperties,
+    analyze,
+    band_fraction,
+    blocks_coupled_per_row,
+    diagonally_dominant_fraction,
+    estimate_condition_number,
+    half_bandwidth,
+    is_symmetric,
+    nnz_per_row,
+)
+from .suite import MatrixRecord, build_matrix, get_record, matrix_ids, suite_table
+
+__all__ = [
+    "poisson_1d",
+    "poisson_2d",
+    "poisson_2d_9point",
+    "poisson_3d",
+    "anisotropic_diffusion_2d",
+    "graph_laplacian_spd",
+    "unstructured_mesh_spd",
+    "elasticity_3d",
+    "banded_spd",
+    "diagonally_dominant_spd",
+    "grid_dimensions_for",
+    "MatrixProperties",
+    "analyze",
+    "nnz_per_row",
+    "half_bandwidth",
+    "band_fraction",
+    "is_symmetric",
+    "diagonally_dominant_fraction",
+    "blocks_coupled_per_row",
+    "estimate_condition_number",
+    "MatrixRecord",
+    "build_matrix",
+    "get_record",
+    "matrix_ids",
+    "suite_table",
+    "read_matrix_market",
+    "write_matrix_market",
+    "read_vector",
+]

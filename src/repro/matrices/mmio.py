@@ -1,0 +1,140 @@
+"""Minimal Matrix Market (``.mtx``) reader/writer.
+
+The paper's experiments pull matrices from the SuiteSparse collection, which
+distributes files in the Matrix Market exchange format.  This module provides
+a small, dependency-free implementation of the coordinate format (real,
+general/symmetric) so that users who *do* have the original files can feed
+them to the reproduction, and so matrices generated here can be exported for
+inspection with external tools.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+from typing import TextIO, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+PathLike = Union[str, Path]
+
+
+class MatrixMarketError(ValueError):
+    """Raised on malformed Matrix Market input."""
+
+
+def _open_text(path: PathLike, mode: str) -> TextIO:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return io.TextIOWrapper(gzip.open(path, mode + "b"))  # type: ignore[arg-type]
+    return open(path, mode)
+
+
+def read_matrix_market(path: PathLike) -> sp.csr_matrix:
+    """Read a real coordinate Matrix Market file into a CSR matrix.
+
+    Supports the ``general`` and ``symmetric`` qualifiers; ``pattern``
+    matrices get unit values.  Symmetric storage is expanded to full storage.
+    """
+    with _open_text(path, "r") as handle:
+        header = handle.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise MatrixMarketError(f"not a MatrixMarket file: {path}")
+        parts = header.strip().split()
+        if len(parts) < 5:
+            raise MatrixMarketError(f"malformed header: {header!r}")
+        _, obj, fmt, field, symmetry = parts[:5]
+        if obj.lower() != "matrix" or fmt.lower() != "coordinate":
+            raise MatrixMarketError(
+                f"only coordinate matrices are supported, got {obj}/{fmt}"
+            )
+        field = field.lower()
+        symmetry = symmetry.lower()
+        if field not in ("real", "integer", "pattern"):
+            raise MatrixMarketError(f"unsupported field type {field!r}")
+        if symmetry not in ("general", "symmetric"):
+            raise MatrixMarketError(f"unsupported symmetry {symmetry!r}")
+
+        # Skip comments.
+        line = handle.readline()
+        while line.startswith("%"):
+            line = handle.readline()
+        dims = line.split()
+        if len(dims) != 3:
+            raise MatrixMarketError(f"malformed size line: {line!r}")
+        n_rows, n_cols, nnz = (int(x) for x in dims)
+
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.ones(nnz, dtype=np.float64)
+        for k in range(nnz):
+            entry = handle.readline().split()
+            if len(entry) < 2:
+                raise MatrixMarketError(f"truncated file: entry {k + 1}/{nnz}")
+            rows[k] = int(entry[0]) - 1
+            cols[k] = int(entry[1]) - 1
+            if field != "pattern":
+                if len(entry) < 3:
+                    raise MatrixMarketError(f"missing value in entry {k + 1}")
+                vals[k] = float(entry[2])
+
+    matrix = sp.coo_matrix((vals, (rows, cols)), shape=(n_rows, n_cols))
+    if symmetry == "symmetric":
+        strict_lower = rows != cols
+        mirrored = sp.coo_matrix(
+            (vals[strict_lower], (cols[strict_lower], rows[strict_lower])),
+            shape=(n_rows, n_cols),
+        )
+        matrix = matrix + mirrored
+    return sp.csr_matrix(matrix)
+
+
+def write_matrix_market(path: PathLike, matrix, *, symmetric: bool = True,
+                        comment: str = "") -> None:
+    """Write a sparse matrix in coordinate Matrix Market format.
+
+    With ``symmetric=True`` (the default, appropriate for SPD matrices) only
+    the lower triangle is stored, as SuiteSparse does.
+    """
+    csr = sp.csr_matrix(matrix)
+    if symmetric:
+        if csr.shape[0] != csr.shape[1]:
+            raise MatrixMarketError("symmetric output requires a square matrix")
+        coo = sp.tril(csr).tocoo()
+        qualifier = "symmetric"
+    else:
+        coo = csr.tocoo()
+        qualifier = "general"
+    with _open_text(path, "w") as handle:
+        handle.write(f"%%MatrixMarket matrix coordinate real {qualifier}\n")
+        if comment:
+            for line in comment.splitlines():
+                handle.write(f"% {line}\n")
+        handle.write(f"{csr.shape[0]} {csr.shape[1]} {coo.nnz}\n")
+        for i, j, v in zip(coo.row, coo.col, coo.data):
+            handle.write(f"{i + 1} {j + 1} {float(v)!r}\n")
+
+
+def read_vector(path: PathLike) -> np.ndarray:
+    """Read a dense vector stored as a Matrix Market array or plain text."""
+    path = Path(path)
+    with _open_text(path, "r") as handle:
+        first = handle.readline()
+        if first.startswith("%%MatrixMarket"):
+            parts = first.split()
+            if len(parts) >= 3 and parts[2].lower() == "array":
+                line = handle.readline()
+                while line.startswith("%"):
+                    line = handle.readline()
+                n_rows, n_cols = (int(x) for x in line.split()[:2])
+                if n_cols != 1:
+                    raise MatrixMarketError("expected a single-column array")
+                return np.array(
+                    [float(handle.readline()) for _ in range(n_rows)]
+                )
+            raise MatrixMarketError("expected an array-format vector")
+        values = [float(first)] if first.strip() else []
+        values.extend(float(line) for line in handle if line.strip())
+        return np.array(values)

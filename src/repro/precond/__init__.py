@@ -1,0 +1,26 @@
+"""Preconditioners for the (resilient) PCG solver."""
+
+from .base import Preconditioner, PreconditionerForm
+from .block_jacobi import BlockJacobiPreconditioner
+from .factory import PRECONDITIONERS, describe_all, make_preconditioner
+from .ichol import FactorizationError, factorization_residual, ic0, ic0_solve
+from .identity import IdentityPreconditioner
+from .jacobi import JacobiPreconditioner
+from .ssor import SplitCholeskyPreconditioner, SSORPreconditioner
+
+__all__ = [
+    "Preconditioner",
+    "PreconditionerForm",
+    "IdentityPreconditioner",
+    "JacobiPreconditioner",
+    "BlockJacobiPreconditioner",
+    "SSORPreconditioner",
+    "SplitCholeskyPreconditioner",
+    "make_preconditioner",
+    "describe_all",
+    "PRECONDITIONERS",
+    "ic0",
+    "ic0_solve",
+    "factorization_residual",
+    "FactorizationError",
+]

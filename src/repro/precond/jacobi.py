@@ -1,0 +1,78 @@
+"""Point Jacobi (diagonal) preconditioner."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .base import Preconditioner, PreconditionerForm, as_indices
+
+
+class JacobiPreconditioner(Preconditioner):
+    """``M = diag(A)``: the simplest preconditioner.
+
+    It is block-diagonal for every partition (each element only needs its own
+    diagonal entry), so its application is embarrassingly parallel; both ``M``
+    and ``P = M^{-1}`` rows are trivially available for the reconstruction.
+    """
+
+    name = "jacobi"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._diag: np.ndarray | None = None
+        self._inv_diag: np.ndarray | None = None
+
+    def _setup_impl(self) -> None:
+        diag = self.matrix.diagonal().astype(np.float64)
+        if np.any(diag == 0.0):
+            raise ValueError(
+                "Jacobi preconditioner requires a zero-free diagonal"
+            )
+        self._diag = diag
+        self._inv_diag = 1.0 / diag
+
+    # -- action -----------------------------------------------------------
+    def apply(self, residual: np.ndarray) -> np.ndarray:
+        return residual * self._inv_diag
+
+    def apply_block(self, rank: int, residual_block: np.ndarray) -> np.ndarray:
+        if self.partition is None:
+            raise RuntimeError("apply_block requires a partition at setup()")
+        start, stop = self.partition.range_of(rank)
+        return residual_block * self._inv_diag[start:stop]
+
+    @property
+    def is_block_diagonal(self) -> bool:
+        return True
+
+    def work_nnz(self) -> int:
+        return int(self.matrix.shape[0])
+
+    # -- ESR structural access ------------------------------------------------
+    @property
+    def form(self) -> PreconditionerForm:
+        return PreconditionerForm.INVERSE
+
+    @property
+    def diagonal(self) -> np.ndarray:
+        if self._diag is None:
+            raise RuntimeError("setup() has not been called")
+        return self._diag
+
+    def forward_rows(self, indices: np.ndarray) -> sp.csr_matrix:
+        idx = as_indices(indices)
+        n = self.matrix.shape[0]
+        return sp.csr_matrix(
+            (self._diag[idx], (np.arange(idx.size), idx)), shape=(idx.size, n)
+        )
+
+    def inverse_rows(self, indices: np.ndarray) -> sp.csr_matrix:
+        idx = as_indices(indices)
+        n = self.matrix.shape[0]
+        return sp.csr_matrix(
+            (self._inv_diag[idx], (np.arange(idx.size), idx)), shape=(idx.size, n)
+        )
+
+    def split_factor(self) -> sp.csr_matrix:
+        return sp.diags(np.sqrt(self.diagonal), format="csr")

@@ -1,0 +1,68 @@
+"""Common result container for all solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class SolveResult:
+    """Outcome of an iterative linear solve.
+
+    Attributes
+    ----------
+    x:
+        Final iterate.
+    converged:
+        True if the stopping criterion was met within the iteration budget.
+    iterations:
+        Number of iterations performed.
+    residual_norms:
+        History of (solver) residual norms, one entry per iteration starting
+        with the initial residual.
+    final_residual_norm:
+        Solver residual norm at termination (``||r^(j)||_2``).
+    true_residual_norm:
+        Explicitly recomputed ``||b - A x||_2`` at termination -- in exact
+        arithmetic equal to ``final_residual_norm``, in floating point
+        slightly different (the basis of the paper's Eqn. (7) metric).
+    solver_residual:
+        The solver's internal residual vector ``r`` at termination (needed to
+        evaluate Eqn. (7)); may be ``None`` for solvers that do not carry one.
+    info:
+        Free-form extra data (timings, recovery statistics, ...).
+    """
+
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    residual_norms: List[float] = field(default_factory=list)
+    final_residual_norm: float = np.nan
+    true_residual_norm: float = np.nan
+    solver_residual: Optional[np.ndarray] = None
+    info: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def relative_residual_deviation(self) -> float:
+        """The paper's Eqn. (7): ``(||r|| - ||b - A x||) / ||b - A x||``.
+
+        Requires both residual norms to be present; ``nan`` otherwise.
+        """
+        if not np.isfinite(self.final_residual_norm) or \
+                not np.isfinite(self.true_residual_norm) or \
+                self.true_residual_norm == 0.0:
+            return float("nan")
+        return (self.final_residual_norm - self.true_residual_norm) \
+            / self.true_residual_norm
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        status = "converged" if self.converged else "NOT converged"
+        return (
+            f"{status} in {self.iterations} iterations, "
+            f"||r|| = {self.final_residual_norm:.3e}, "
+            f"||b - Ax|| = {self.true_residual_norm:.3e}"
+        )

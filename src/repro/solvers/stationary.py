@@ -1,0 +1,141 @@
+"""Stationary iterative methods: Jacobi, Gauss-Seidel, SOR, SSOR.
+
+Chen's original ESR paper covers these methods as well, and the paper under
+reproduction notes that its multi-failure extension carries over to them
+(Sec. 1).  They double as smoothers/inner solvers elsewhere in the library.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.linalg import spsolve_triangular
+
+from .result import SolveResult
+
+
+def _prepare(matrix, rhs):
+    a = sp.csr_matrix(matrix).astype(np.float64)
+    b = np.asarray(rhs, dtype=np.float64)
+    if a.shape[0] != a.shape[1]:
+        raise ValueError(f"matrix must be square, got {a.shape}")
+    if b.shape != (a.shape[0],):
+        raise ValueError(f"rhs has shape {b.shape}, expected ({a.shape[0]},)")
+    return a, b
+
+
+def _finalize(a, b, x, history, converged, iterations) -> SolveResult:
+    r = b - a @ x
+    return SolveResult(
+        x=x,
+        converged=converged,
+        iterations=iterations,
+        residual_norms=history,
+        final_residual_norm=history[-1],
+        true_residual_norm=float(np.linalg.norm(r)),
+        solver_residual=r,
+    )
+
+
+def jacobi_method(matrix, rhs, *, rtol: float = 1e-8,
+                  max_iterations: int = 10_000,
+                  x0: Optional[np.ndarray] = None) -> SolveResult:
+    """Weighted-free point Jacobi iteration ``x <- x + D^{-1} (b - A x)``."""
+    a, b = _prepare(matrix, rhs)
+    diag = a.diagonal()
+    if np.any(diag == 0.0):
+        raise ValueError("Jacobi iteration requires a zero-free diagonal")
+    inv_diag = 1.0 / diag
+    x = np.zeros_like(b) if x0 is None else np.array(x0, dtype=np.float64)
+    r = b - a @ x
+    r0 = float(np.linalg.norm(r))
+    threshold = rtol * r0
+    history = [r0]
+    converged = r0 <= threshold
+    it = 0
+    while not converged and it < max_iterations:
+        x = x + inv_diag * r
+        r = b - a @ x
+        it += 1
+        norm = float(np.linalg.norm(r))
+        history.append(norm)
+        converged = norm <= threshold
+    return _finalize(a, b, x, history, converged, it)
+
+
+def sor_method(matrix, rhs, *, omega: float = 1.0, rtol: float = 1e-8,
+               max_iterations: int = 10_000,
+               x0: Optional[np.ndarray] = None) -> SolveResult:
+    """Successive over-relaxation; ``omega = 1`` gives Gauss-Seidel."""
+    if not 0.0 < omega < 2.0:
+        raise ValueError(f"omega must lie in (0, 2), got {omega}")
+    a, b = _prepare(matrix, rhs)
+    diag = a.diagonal()
+    if np.any(diag == 0.0):
+        raise ValueError("SOR requires a zero-free diagonal")
+    lower = sp.tril(a, k=-1).tocsr()
+    upper = sp.triu(a, k=1).tocsr()
+    d = sp.diags(diag)
+    # (D/omega + L) x_new = b - (U + (1 - 1/omega) D) x_old
+    lhs = (d / omega + lower).tocsr()
+    rhs_op = (upper + (1.0 - 1.0 / omega) * d).tocsr()
+
+    x = np.zeros_like(b) if x0 is None else np.array(x0, dtype=np.float64)
+    r = b - a @ x
+    r0 = float(np.linalg.norm(r))
+    threshold = rtol * r0
+    history = [r0]
+    converged = r0 <= threshold
+    it = 0
+    while not converged and it < max_iterations:
+        x = spsolve_triangular(lhs, b - rhs_op @ x, lower=True)
+        r = b - a @ x
+        it += 1
+        norm = float(np.linalg.norm(r))
+        history.append(norm)
+        converged = norm <= threshold
+    return _finalize(a, b, x, history, converged, it)
+
+
+def gauss_seidel_method(matrix, rhs, **kwargs) -> SolveResult:
+    """Gauss-Seidel iteration (SOR with ``omega = 1``)."""
+    kwargs.pop("omega", None)
+    return sor_method(matrix, rhs, omega=1.0, **kwargs)
+
+
+def ssor_method(matrix, rhs, *, omega: float = 1.0, rtol: float = 1e-8,
+                max_iterations: int = 10_000,
+                x0: Optional[np.ndarray] = None) -> SolveResult:
+    """Symmetric SOR: a forward SOR sweep followed by a backward sweep."""
+    if not 0.0 < omega < 2.0:
+        raise ValueError(f"omega must lie in (0, 2), got {omega}")
+    a, b = _prepare(matrix, rhs)
+    diag = a.diagonal()
+    if np.any(diag == 0.0):
+        raise ValueError("SSOR requires a zero-free diagonal")
+    lower = sp.tril(a, k=-1).tocsr()
+    upper = sp.triu(a, k=1).tocsr()
+    d = sp.diags(diag)
+    forward_lhs = (d / omega + lower).tocsr()
+    forward_rhs = (upper + (1.0 - 1.0 / omega) * d).tocsr()
+    backward_lhs = (d / omega + upper).tocsr()
+    backward_rhs = (lower + (1.0 - 1.0 / omega) * d).tocsr()
+
+    x = np.zeros_like(b) if x0 is None else np.array(x0, dtype=np.float64)
+    r = b - a @ x
+    r0 = float(np.linalg.norm(r))
+    threshold = rtol * r0
+    history = [r0]
+    converged = r0 <= threshold
+    it = 0
+    while not converged and it < max_iterations:
+        x = spsolve_triangular(forward_lhs, b - forward_rhs @ x, lower=True)
+        x = spsolve_triangular(backward_lhs, b - backward_rhs @ x, lower=False)
+        r = b - a @ x
+        it += 1
+        norm = float(np.linalg.norm(r))
+        history.append(norm)
+        converged = norm <= threshold
+    return _finalize(a, b, x, history, converged, it)

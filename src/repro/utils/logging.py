@@ -1,0 +1,56 @@
+"""Minimal logging facade.
+
+The library logs through the standard :mod:`logging` module under the
+``"repro"`` namespace.  By default nothing is emitted (a ``NullHandler`` is
+installed); the harness and the examples call :func:`set_verbosity` to turn
+on human-readable progress output.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+_ROOT_NAME = "repro"
+
+_root = logging.getLogger(_ROOT_NAME)
+if not _root.handlers:
+    _root.addHandler(logging.NullHandler())
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Return a logger below the ``repro`` namespace.
+
+    ``get_logger("core.pcg")`` yields the logger ``repro.core.pcg``.
+    """
+    if not name:
+        return _root
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def set_verbosity(level: int = logging.INFO, stream=None) -> logging.Logger:
+    """Attach a stream handler to the ``repro`` root logger.
+
+    Parameters
+    ----------
+    level:
+        Standard :mod:`logging` level (e.g. ``logging.DEBUG``).
+    stream:
+        Target stream; defaults to ``sys.stderr``.
+    """
+    stream = stream if stream is not None else sys.stderr
+    for handler in list(_root.handlers):
+        if isinstance(handler, logging.StreamHandler) and not isinstance(
+            handler, logging.NullHandler
+        ):
+            _root.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(
+        logging.Formatter("[%(levelname)s] %(name)s: %(message)s")
+    )
+    _root.addHandler(handler)
+    _root.setLevel(level)
+    return _root

@@ -1,0 +1,104 @@
+"""Input validation helpers shared across the library.
+
+The checks raise :class:`ValidationError` (a ``ValueError`` subclass) with
+messages that name the offending argument, which keeps the public API
+error messages consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+
+class ValidationError(ValueError):
+    """Raised when a user-supplied argument fails a sanity check."""
+
+
+def check_positive(value: float, name: str) -> float:
+    """Ensure ``value > 0``; return it unchanged."""
+    if not value > 0:
+        raise ValidationError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_nonnegative(value: float, name: str) -> float:
+    """Ensure ``value >= 0``; return it unchanged."""
+    if value < 0:
+        raise ValidationError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_in_range(value: float, low: float, high: float, name: str,
+                   inclusive: bool = True) -> float:
+    """Ensure ``low <= value <= high`` (or strict if ``inclusive=False``)."""
+    if inclusive:
+        ok = low <= value <= high
+    else:
+        ok = low < value < high
+    if not ok:
+        raise ValidationError(
+            f"{name} must lie in {'[' if inclusive else '('}{low}, {high}"
+            f"{']' if inclusive else ')'}, got {value!r}"
+        )
+    return value
+
+
+def check_square(matrix, name: str = "matrix"):
+    """Ensure a (sparse or dense) matrix is square; return it unchanged."""
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValidationError(f"{name} must be square, got shape {matrix.shape}")
+    return matrix
+
+
+def check_symmetric(matrix, name: str = "matrix", tol: float = 1e-10):
+    """Ensure a sparse matrix is numerically symmetric within *tol*."""
+    check_square(matrix, name)
+    m = sp.csr_matrix(matrix)
+    diff = (m - m.T).tocoo()
+    if diff.nnz:
+        max_dev = float(np.max(np.abs(diff.data)))
+        scale = float(np.max(np.abs(m.data))) if m.nnz else 1.0
+        if max_dev > tol * max(scale, 1.0):
+            raise ValidationError(
+                f"{name} is not symmetric: max deviation {max_dev:.3e} "
+                f"(tolerance {tol:.1e} relative to {scale:.3e})"
+            )
+    return matrix
+
+
+def check_spd_sample(matrix, name: str = "matrix", n_probes: int = 4,
+                     rng: Optional[np.random.Generator] = None, tol: float = 0.0):
+    """Cheap probabilistic SPD check: ``v.T @ A @ v > tol`` for random probes.
+
+    A full Cholesky would be too expensive for the large matrices used in
+    benchmarks; random quadratic-form probes catch sign errors in the
+    generators while staying O(nnz).
+    """
+    check_symmetric(matrix, name)
+    m = sp.csr_matrix(matrix)
+    rng = rng if rng is not None else np.random.default_rng(0)
+    n = m.shape[0]
+    for _ in range(max(1, n_probes)):
+        v = rng.standard_normal(n)
+        quad = float(v @ (m @ v))
+        if not quad > tol:
+            raise ValidationError(
+                f"{name} failed SPD probe: v.T A v = {quad:.3e} <= {tol:.3e}"
+            )
+    return matrix
+
+
+def check_rank_list(ranks, n_nodes: int, name: str = "ranks"):
+    """Validate a collection of node ranks against the cluster size."""
+    ranks = list(ranks)
+    if len(set(ranks)) != len(ranks):
+        raise ValidationError(f"{name} contains duplicates: {ranks}")
+    for r in ranks:
+        if not (0 <= int(r) < n_nodes):
+            raise ValidationError(
+                f"{name} entry {r} out of range for {n_nodes} nodes"
+            )
+    return [int(r) for r in ranks]

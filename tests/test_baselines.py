@@ -1,0 +1,156 @@
+"""Tests for the baseline recovery strategies (C/R, interpolation, restart)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CheckpointConfig,
+    CheckpointRestartPCG,
+    FullRestartPCG,
+    InterpolationRecoveryPCG,
+    least_squares_interpolation,
+    local_interpolation,
+)
+from repro.cluster import FailureEvent, FailureInjector, MachineModel, Phase
+from repro.core.api import distribute_problem, reference_solve
+from repro.matrices import poisson_2d
+from repro.precond import make_preconditioner
+
+
+@pytest.fixture
+def matrix():
+    return poisson_2d(18)  # n = 324
+
+
+def fresh(matrix, n_nodes=6):
+    return distribute_problem(matrix, n_nodes=n_nodes, seed=0,
+                              machine=MachineModel(jitter_rel_std=0.0))
+
+
+def build(cls, problem, failures=(), **kwargs):
+    precond = make_preconditioner("block_jacobi")
+    precond.setup(problem.matrix.to_global(), problem.partition)
+    injector = FailureInjector([FailureEvent(it, tuple(rk)) for it, rk in failures]) \
+        if failures else None
+    return cls(problem.matrix, problem.rhs, precond,
+               failure_injector=injector, context=problem.context, **kwargs)
+
+
+class TestCheckpointRestart:
+    def test_failure_free_converges_with_checkpoint_overhead(self, matrix):
+        problem = fresh(matrix)
+        reference = reference_solve(fresh(matrix), preconditioner="block_jacobi")
+        solver = build(CheckpointRestartPCG, problem,
+                       config=CheckpointConfig(interval=10))
+        result = solver.solve()
+        assert result.converged
+        assert result.iterations == reference.iterations
+        assert result.time_breakdown.get(Phase.CHECKPOINT, 0.0) > 0
+        assert result.simulated_time > reference.simulated_time
+
+    def test_rollback_after_failure(self, matrix):
+        problem = fresh(matrix)
+        solver = build(CheckpointRestartPCG, problem, failures=[(15, [1, 2])],
+                       config=CheckpointConfig(interval=10))
+        result = solver.solve()
+        assert result.converged
+        assert result.info["rollbacks"] == 1
+        # rolled back from iteration 15 to the checkpoint at 10 -> 5 lost
+        assert result.info["iterations_lost"] == 5
+        assert np.allclose(result.x, np.ones(problem.n), atol=1e-6)
+
+    def test_loses_work_that_esr_does_not(self, matrix):
+        from repro.core.api import resilient_solve
+        reference = reference_solve(fresh(matrix), preconditioner="block_jacobi")
+        cr_problem = fresh(matrix)
+        cr = build(CheckpointRestartPCG, cr_problem, failures=[(14, [1, 2])],
+                   config=CheckpointConfig(interval=8)).solve()
+        esr = resilient_solve(fresh(matrix), phi=2, failures=[(14, [1, 2])],
+                              preconditioner="block_jacobi")
+        # C/R throws away the iterations since the last checkpoint (and
+        # re-executes them); ESR resumes exactly where the failure struck.
+        assert cr.info["iterations_lost"] == 14 - 8
+        assert esr.iterations <= reference.iterations + 1
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            CheckpointConfig(interval=0)
+
+    def test_checkpoint_count(self, matrix):
+        problem = fresh(matrix)
+        solver = build(CheckpointRestartPCG, problem,
+                       config=CheckpointConfig(interval=20))
+        result = solver.solve()
+        assert result.info["checkpoints_taken"] == 1 + result.iterations // 20
+
+
+class TestInterpolationRecovery:
+    @pytest.mark.parametrize("method", ["li", "lsi"])
+    def test_converges_after_failure(self, matrix, method):
+        problem = fresh(matrix)
+        solver = build(InterpolationRecoveryPCG, problem, method=method,
+                       failures=[(12, [2, 3])])
+        result = solver.solve()
+        assert result.converged
+        assert result.info["recoveries"] == 1
+        assert np.allclose(result.x, np.ones(problem.n), atol=1e-6)
+
+    def test_needs_more_iterations_than_esr(self, matrix):
+        from repro.core.api import resilient_solve
+        problem = fresh(matrix)
+        li = build(InterpolationRecoveryPCG, problem, method="li",
+                   failures=[(12, [2, 3])]).solve()
+        esr = resilient_solve(fresh(matrix), phi=2, failures=[(12, [2, 3])],
+                              preconditioner="block_jacobi")
+        # Interpolation discards the Krylov space; ESR does not.
+        assert li.iterations >= esr.iterations
+
+    def test_invalid_method(self, matrix):
+        problem = fresh(matrix)
+        with pytest.raises(ValueError):
+            build(InterpolationRecoveryPCG, problem, method="quadratic")
+
+    def test_interpolation_helpers_accuracy(self, matrix):
+        rng = np.random.default_rng(0)
+        n = matrix.shape[0]
+        x_true = rng.standard_normal(n)
+        b = matrix @ x_true
+        failed = np.arange(54, 108)
+        li = local_interpolation(matrix, b, x_true, failed)
+        lsi = least_squares_interpolation(matrix, b, x_true, failed)
+        # With the exact surviving entries, both interpolations recover the
+        # lost entries exactly (the residual is zero).
+        assert np.allclose(li, x_true[failed], atol=1e-8)
+        assert np.allclose(lsi, x_true[failed], atol=1e-6)
+
+    def test_recovery_charges_cost(self, matrix):
+        problem = fresh(matrix)
+        solver = build(InterpolationRecoveryPCG, problem, method="li",
+                       failures=[(10, [1])])
+        result = solver.solve()
+        assert result.simulated_recovery_time > 0
+
+
+class TestFullRestart:
+    def test_converges_after_failure(self, matrix):
+        problem = fresh(matrix)
+        solver = build(FullRestartPCG, problem, failures=[(15, [0, 1])])
+        result = solver.solve()
+        assert result.converged
+        assert result.info["restarts"] == 1
+        assert result.info["iterations_lost"] == 15
+        assert np.allclose(result.x, np.ones(problem.n), atol=1e-6)
+
+    def test_most_expensive_strategy(self, matrix):
+        from repro.core.api import resilient_solve
+        problem = fresh(matrix)
+        restart = build(FullRestartPCG, problem, failures=[(15, [1, 2])]).solve()
+        esr = resilient_solve(fresh(matrix), phi=2, failures=[(15, [1, 2])],
+                              preconditioner="block_jacobi")
+        assert restart.iterations > esr.iterations
+
+    def test_failure_free_equals_reference_iterations(self, matrix):
+        problem = fresh(matrix)
+        reference = reference_solve(fresh(matrix), preconditioner="block_jacobi")
+        result = build(FullRestartPCG, problem).solve()
+        assert result.iterations == reference.iterations

@@ -1,0 +1,147 @@
+"""Tests for the MPI-like communicator of the virtual cluster."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    CommunicationError,
+    MachineModel,
+    NodeFailedError,
+    Phase,
+    VirtualCluster,
+)
+
+
+@pytest.fixture
+def cluster():
+    return VirtualCluster(4, machine=MachineModel(jitter_rel_std=0.0))
+
+
+class TestPointToPoint:
+    def test_send_recv_roundtrip(self, cluster):
+        payload = np.arange(10.0)
+        cluster.comm.send(0, 2, payload)
+        received = cluster.comm.recv(2, 0)
+        assert np.array_equal(received, payload)
+
+    def test_recv_without_message_raises(self, cluster):
+        with pytest.raises(CommunicationError):
+            cluster.comm.recv(1)
+
+    def test_send_charges_cost(self, cluster):
+        before = cluster.ledger.total_time()
+        cluster.comm.send(0, 1, np.arange(100.0))
+        assert cluster.ledger.total_time() > before
+        assert cluster.ledger.total_elements([Phase.HALO_COMM]) == 100
+
+    def test_send_to_failed_node_raises(self, cluster):
+        cluster.fail_nodes([1])
+        with pytest.raises(CommunicationError):
+            cluster.comm.send(0, 1, 1.0)
+
+    def test_send_from_failed_node_raises(self, cluster):
+        cluster.fail_nodes([0])
+        with pytest.raises(CommunicationError):
+            cluster.comm.send(0, 1, 1.0)
+
+    def test_recv_on_failed_node_raises(self, cluster):
+        cluster.comm.send(0, 1, 1.0)
+        cluster.fail_nodes([1])
+        with pytest.raises(NodeFailedError):
+            cluster.comm.recv(1, 0)
+
+    def test_tagged_messages(self, cluster):
+        cluster.comm.send(0, 1, "a", tag="first")
+        cluster.comm.send(0, 1, "b", tag="second")
+        assert cluster.comm.recv(1, 0, tag="second") == "b"
+        assert cluster.comm.recv(1, 0, tag="first") == "a"
+
+    def test_pending_and_drop(self, cluster):
+        cluster.comm.send(0, 1, 1.0)
+        cluster.comm.send(0, 2, 2.0)
+        assert cluster.comm.pending_messages() == 2
+        cluster.fail_nodes([1])
+        assert cluster.comm.pending_messages() == 1
+
+
+class TestAllreduce:
+    def test_sum_of_scalars(self, cluster):
+        contributions = {r: float(r + 1) for r in range(4)}
+        assert cluster.comm.allreduce_sum(contributions) == pytest.approx(10.0)
+
+    def test_sum_of_arrays(self, cluster):
+        contributions = {r: np.full(3, float(r)) for r in range(4)}
+        total = cluster.comm.allreduce_sum(contributions)
+        assert np.allclose(total, [6.0, 6.0, 6.0])
+
+    def test_missing_contribution_raises(self, cluster):
+        with pytest.raises(CommunicationError):
+            cluster.comm.allreduce_sum({0: 1.0, 1: 2.0})
+
+    def test_with_failed_node_raises_by_default(self, cluster):
+        cluster.fail_nodes([3])
+        contributions = {r: 1.0 for r in range(3)}
+        with pytest.raises(CommunicationError):
+            cluster.comm.allreduce_sum(contributions)
+
+    def test_alive_only_mode(self, cluster):
+        cluster.fail_nodes([3])
+        contributions = {r: 1.0 for r in range(3)}
+        total = cluster.comm.allreduce_sum(contributions, alive_only=True)
+        assert total == pytest.approx(3.0)
+
+    def test_charges_allreduce_phase(self, cluster):
+        cluster.comm.allreduce_sum({r: 1.0 for r in range(4)})
+        assert cluster.ledger.total_time([Phase.ALLREDUCE_COMM]) > 0
+
+
+class TestBroadcastGather:
+    def test_bcast_reaches_all(self, cluster):
+        out = cluster.comm.bcast(0, 42)
+        assert out == {0: 42, 1: 42, 2: 42, 3: 42}
+
+    def test_bcast_failed_root_raises(self, cluster):
+        cluster.fail_nodes([0])
+        with pytest.raises(CommunicationError):
+            cluster.comm.bcast(0, 1, alive_only=True)
+
+    def test_gather_collects(self, cluster):
+        contributions = {r: r * 10 for r in range(4)}
+        out = cluster.comm.gather(0, contributions)
+        assert out == contributions
+
+    def test_gather_charges_messages(self, cluster):
+        cluster.comm.gather(0, {r: np.ones(5) for r in range(4)})
+        assert cluster.ledger.total_messages([Phase.RECOVERY_COMM]) == 3
+
+    def test_allgather(self, cluster):
+        contributions = {r: np.full(2, r) for r in range(4)}
+        out = cluster.comm.allgather(contributions)
+        assert set(out.keys()) == {0, 1, 2, 3}
+
+    def test_allgather_alive_only(self, cluster):
+        cluster.fail_nodes([2])
+        contributions = {r: 1.0 for r in (0, 1, 3)}
+        out = cluster.comm.allgather(contributions, alive_only=True)
+        assert set(out.keys()) == {0, 1, 3}
+
+    def test_barrier(self, cluster):
+        before = cluster.ledger.total_time()
+        cluster.comm.barrier()
+        assert cluster.ledger.total_time() > before
+
+    def test_barrier_with_failure_raises(self, cluster):
+        cluster.fail_nodes([1])
+        with pytest.raises(CommunicationError):
+            cluster.comm.barrier()
+
+
+class TestQueries:
+    def test_alive_and_failed_ranks(self, cluster):
+        assert cluster.comm.alive_ranks() == [0, 1, 2, 3]
+        cluster.fail_nodes([1, 2])
+        assert cluster.comm.alive_ranks() == [0, 3]
+        assert cluster.comm.failed_ranks() == [1, 2]
+
+    def test_size(self, cluster):
+        assert cluster.comm.size == 4

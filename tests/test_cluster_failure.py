@@ -1,0 +1,151 @@
+"""Tests for failure events, the injector and the ULFM-like runtime."""
+
+import pytest
+
+from repro.cluster import FailureEvent, FailureInjector, NodeStatus, VirtualCluster
+from repro.cluster.failure import UlfmRuntime
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture
+def cluster():
+    return VirtualCluster(6)
+
+
+class TestFailureEvent:
+    def test_basic(self):
+        event = FailureEvent(iteration=10, ranks=(1, 2))
+        assert event.n_failures == 2
+
+    def test_negative_iteration_rejected(self):
+        with pytest.raises(ValidationError):
+            FailureEvent(iteration=-1, ranks=(0,))
+
+    def test_empty_ranks_rejected(self):
+        with pytest.raises(ValidationError):
+            FailureEvent(iteration=0, ranks=())
+
+    def test_duplicate_ranks_rejected(self):
+        with pytest.raises(ValidationError):
+            FailureEvent(iteration=0, ranks=(1, 1))
+
+    def test_overlap_marker(self):
+        event = FailureEvent(iteration=5, ranks=(3,), during_recovery_of=0)
+        assert event.during_recovery_of == 0
+
+
+class TestFailureInjector:
+    def test_events_due_by_iteration(self):
+        injector = FailureInjector([
+            FailureEvent(10, (0,)), FailureEvent(20, (1,)),
+        ])
+        assert len(injector.events_due(5)) == 0
+        assert len(injector.events_due(10)) == 1
+        assert len(injector.events_due(25)) == 2
+
+    def test_trigger_fails_nodes(self, cluster):
+        injector = FailureInjector([FailureEvent(0, (2, 4))])
+        (idx, _event), = injector.events_due(0)
+        injector.trigger(idx, cluster.nodes)
+        assert cluster.node(2).is_failed and cluster.node(4).is_failed
+        assert cluster.node(0).is_alive
+
+    def test_trigger_twice_rejected(self, cluster):
+        injector = FailureInjector([FailureEvent(0, (1,))])
+        injector.trigger(0, cluster.nodes)
+        with pytest.raises(ValidationError):
+            injector.trigger(0, cluster.nodes)
+
+    def test_triggered_events_not_due_again(self, cluster):
+        injector = FailureInjector([FailureEvent(0, (1,))])
+        injector.trigger(0, cluster.nodes)
+        assert injector.events_due(100) == []
+        assert injector.all_triggered()
+
+    def test_overlapping_events_separate_queue(self):
+        injector = FailureInjector([
+            FailureEvent(10, (0,)),
+            FailureEvent(10, (1,), during_recovery_of=0),
+        ])
+        assert len(injector.events_due(10, overlapping=False)) == 1
+        assert len(injector.events_due(10, overlapping=True)) == 1
+
+    def test_max_simultaneous(self):
+        injector = FailureInjector([
+            FailureEvent(10, (0, 1, 2)), FailureEvent(20, (3,)),
+        ])
+        assert injector.max_simultaneous_failures() == 3
+
+    def test_add_event(self):
+        injector = FailureInjector()
+        injector.add_event(FailureEvent(5, (0,)))
+        assert len(injector.pending_events()) == 1
+
+    def test_out_of_range_rank_rejected(self, cluster):
+        injector = FailureInjector([FailureEvent(0, (99,))])
+        with pytest.raises(ValidationError):
+            injector.trigger(0, cluster.nodes)
+
+
+class TestUlfmRuntime:
+    def test_detect_failures(self, cluster):
+        runtime = UlfmRuntime(cluster.nodes)
+        assert runtime.detect_failures() == []
+        cluster.fail_nodes([1, 3])
+        assert runtime.detect_failures() == [1, 3]
+        # already reported -> not reported again
+        assert runtime.detect_failures() == []
+
+    def test_notify_survivors(self, cluster):
+        runtime = UlfmRuntime(cluster.nodes)
+        cluster.fail_nodes([2])
+        notified = runtime.notify_survivors([2])
+        assert 2 not in notified
+        assert all(v == [2] for v in notified.values())
+
+    def test_provide_replacements(self, cluster):
+        runtime = cluster.ulfm
+        cluster.fail_nodes([1])
+        runtime.detect_failures()
+        replaced = runtime.provide_replacements([1])
+        assert replaced == [1]
+        assert cluster.node(1).status is NodeStatus.REPLACEMENT
+        assert runtime.known_failed() == []
+
+    def test_replace_alive_node_rejected(self, cluster):
+        with pytest.raises(ValidationError):
+            cluster.ulfm.provide_replacements([0])
+
+    def test_recovery_records(self, cluster):
+        record = cluster.ulfm.begin_recovery(42, [1, 2])
+        record.simulated_time = 0.5
+        assert cluster.ulfm.total_recoveries() == 1
+        assert cluster.ulfm.recoveries[0].failed_ranks == [1, 2]
+
+
+class TestClusterFacade:
+    def test_fail_and_replace(self, cluster):
+        cluster.fail_nodes([0, 5])
+        assert cluster.failed_ranks() == [0, 5]
+        assert cluster.any_failed
+        cluster.replace_nodes([0, 5])
+        assert cluster.failed_ranks() == []
+
+    def test_describe(self, cluster):
+        assert "N=6" in cluster.describe()
+
+    def test_invalid_rank(self, cluster):
+        with pytest.raises(Exception):
+            cluster.node(17)
+
+    def test_simulated_time_accumulates(self, cluster):
+        assert cluster.simulated_time() == 0.0
+        cluster.comm.barrier()
+        assert cluster.simulated_time() > 0.0
+        cluster.reset_costs()
+        assert cluster.simulated_time() == 0.0
+
+    def test_topology_size_mismatch_rejected(self):
+        from repro.cluster.network import UniformTopology
+        with pytest.raises(Exception):
+            VirtualCluster(4, topology=UniformTopology(8))

@@ -1,0 +1,166 @@
+"""Tests for the ESR protocol (redundant storage and block recovery)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import MachineModel, Phase, UnrecoverableStateError, VirtualCluster
+from repro.core.esr import ESRProtocol
+from repro.core.redundancy import BackupPlacement
+from repro.distributed import (
+    BlockRowPartition,
+    CommunicationContext,
+    DistributedMatrix,
+    DistributedVector,
+)
+from repro.matrices import poisson_2d
+
+
+@pytest.fixture
+def setup():
+    cluster = VirtualCluster(6, machine=MachineModel(jitter_rel_std=0.0))
+    a = poisson_2d(12)  # n = 144
+    partition = BlockRowPartition(144, 6)
+    dist = DistributedMatrix.from_global(cluster, partition, "A", a)
+    context = CommunicationContext.from_matrix(dist)
+    return cluster, partition, dist, context
+
+
+def make_p(cluster, partition, iteration):
+    values = np.arange(partition.n, dtype=float) + 1000.0 * iteration
+    return DistributedVector.from_global(cluster, partition, f"p{iteration}", values)
+
+
+class TestStorage:
+    def test_after_spmv_charges_redundancy(self, setup):
+        cluster, partition, _, context = setup
+        esr = ESRProtocol(cluster, context, phi=2)
+        p = make_p(cluster, partition, 0)
+        esr.after_spmv(p, 0)
+        assert cluster.ledger.total_time([Phase.REDUNDANCY_COMM]) > 0
+
+    def test_phi_zero_charges_nothing(self, setup):
+        cluster, partition, _, context = setup
+        esr = ESRProtocol(cluster, context, phi=0)
+        esr.after_spmv(make_p(cluster, partition, 0), 0)
+        assert cluster.ledger.total_time([Phase.REDUNDANCY_COMM]) == 0.0
+
+    def test_two_generations_retained(self, setup):
+        cluster, partition, _, context = setup
+        esr = ESRProtocol(cluster, context, phi=1)
+        for j in range(4):
+            esr.after_spmv(make_p(cluster, partition, j), j)
+        assert esr.available_generations() == [2, 3]
+
+    def test_scalar_replication(self, setup):
+        cluster, partition, _, context = setup
+        esr = ESRProtocol(cluster, context, phi=1)
+        esr.store_replicated_scalars(5, beta=0.25)
+        assert esr.recover_replicated_scalar("beta", charge=False) == 0.25
+
+    def test_scalar_survives_failures(self, setup):
+        cluster, partition, _, context = setup
+        esr = ESRProtocol(cluster, context, phi=1)
+        esr.store_replicated_scalars(5, beta=0.75)
+        cluster.fail_nodes([0, 1, 2])
+        assert esr.recover_replicated_scalar("beta") == 0.75
+
+    def test_missing_scalar_raises(self, setup):
+        cluster, _, _, context = setup
+        esr = ESRProtocol(cluster, context, phi=1)
+        with pytest.raises(UnrecoverableStateError):
+            esr.recover_replicated_scalar("beta")
+
+    def test_mismatched_scheme_rejected(self, setup):
+        cluster, _, _, context = setup
+        from repro.core.redundancy import RedundancyScheme
+        scheme = RedundancyScheme(context, 1)
+        with pytest.raises(ValueError):
+            ESRProtocol(cluster, context, phi=2, scheme=scheme)
+
+
+class TestRecovery:
+    @pytest.mark.parametrize("phi,failed", [
+        (1, [2]),
+        (2, [2, 3]),
+        (3, [0, 1, 2]),
+        (3, [1, 3, 5]),
+    ])
+    def test_recover_blocks_after_failures(self, setup, phi, failed):
+        cluster, partition, _, context = setup
+        esr = ESRProtocol(cluster, context, phi=phi)
+        p_prev = make_p(cluster, partition, 6)
+        p_cur = make_p(cluster, partition, 7)
+        esr.after_spmv(p_prev, 6)
+        esr.after_spmv(p_cur, 7)
+        expected_prev = p_prev.to_global()
+        expected_cur = p_cur.to_global()
+        cluster.fail_nodes(failed)
+        for rank in failed:
+            start, stop = partition.range_of(rank)
+            rec_cur = esr.recover_block(rank, 7)
+            rec_prev = esr.recover_block(rank, 6)
+            assert np.array_equal(rec_cur, expected_cur[start:stop])
+            assert np.array_equal(rec_prev, expected_prev[start:stop])
+
+    def test_recovery_charges_communication(self, setup):
+        cluster, partition, _, context = setup
+        esr = ESRProtocol(cluster, context, phi=1)
+        esr.after_spmv(make_p(cluster, partition, 0), 0)
+        cluster.fail_nodes([3])
+        esr.recover_block(3, 0)
+        assert cluster.ledger.total_time([Phase.RECOVERY_COMM]) > 0
+
+    def test_unretained_generation_rejected(self, setup):
+        cluster, partition, _, context = setup
+        esr = ESRProtocol(cluster, context, phi=1)
+        for j in range(3):
+            esr.after_spmv(make_p(cluster, partition, j), j)
+        cluster.fail_nodes([1])
+        with pytest.raises(UnrecoverableStateError):
+            esr.recover_block(1, 0)  # generation 0 was dropped
+
+    def test_too_many_failures_unrecoverable(self, setup):
+        cluster, partition, _, context = setup
+        esr = ESRProtocol(cluster, context, phi=1)
+        esr.after_spmv(make_p(cluster, partition, 0), 0)
+        # phi = 1 cannot tolerate the loss of three adjacent nodes: some
+        # elements only had copies on the failed neighbours.
+        cluster.fail_nodes([1, 2, 3])
+        with pytest.raises(UnrecoverableStateError):
+            esr.recover_block(2, 0)
+
+    def test_holders_listing(self, setup):
+        cluster, partition, _, context = setup
+        esr = ESRProtocol(cluster, context, phi=2)
+        esr.after_spmv(make_p(cluster, partition, 0), 0)
+        holders = esr.holders_with_copies(2, 0)
+        assert len(holders) >= 2
+        assert 2 not in holders
+        cluster.fail_nodes([holders[0]])
+        assert holders[0] not in esr.holders_with_copies(2, 0)
+
+    def test_failed_holder_does_not_store(self, setup):
+        cluster, partition, _, context = setup
+        esr = ESRProtocol(cluster, context, phi=2)
+        p = make_p(cluster, partition, 0)
+        cluster.fail_nodes([0])
+        # Storing with a failed holder present must not raise.
+        esr.after_spmv(p, 0)
+        assert 0 not in esr.holders_with_copies(1, 0)
+
+
+class TestOverheadSummary:
+    def test_summary_fields(self, setup):
+        cluster, _, _, context = setup
+        esr = ESRProtocol(cluster, context, phi=2)
+        summary = esr.overhead_summary()
+        assert summary["phi"] == 2.0
+        assert summary["lower_bound"] <= summary["per_iteration_time"] + 1e-15
+        assert summary["per_iteration_time"] <= summary["upper_bound"] + 1e-15
+
+    def test_overhead_time_matches_property(self, setup):
+        cluster, _, _, context = setup
+        esr = ESRProtocol(cluster, context, phi=3)
+        assert esr.per_iteration_overhead_time == pytest.approx(
+            esr.overhead_summary()["per_iteration_time"]
+        )

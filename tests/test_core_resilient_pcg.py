@@ -1,0 +1,180 @@
+"""Tests for the resilient PCG driver (failure handling, overheads, overlaps)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    FailureEvent,
+    FailureInjector,
+    MachineModel,
+    Phase,
+    UnrecoverableStateError,
+)
+from repro.core.api import distribute_problem, reference_solve, resilient_solve
+from repro.core.redundancy import BackupPlacement
+from repro.core.resilient_pcg import ResilientPCG
+from repro.matrices import poisson_2d
+from repro.precond import make_preconditioner
+
+
+@pytest.fixture
+def matrix():
+    return poisson_2d(20)  # n = 400
+
+
+def fresh_problem(matrix, n_nodes=5, seed=0):
+    return distribute_problem(matrix, n_nodes=n_nodes, seed=seed,
+                              machine=MachineModel(jitter_rel_std=0.0))
+
+
+class TestFailureFree:
+    def test_same_solution_as_reference(self, matrix):
+        reference = reference_solve(fresh_problem(matrix),
+                                    preconditioner="block_jacobi")
+        resilient = resilient_solve(fresh_problem(matrix), phi=3,
+                                    preconditioner="block_jacobi")
+        assert resilient.converged
+        assert resilient.iterations == reference.iterations
+        assert np.allclose(resilient.x, reference.x, rtol=1e-12, atol=1e-14)
+
+    def test_undisturbed_overhead_grows_with_phi(self, matrix):
+        reference = reference_solve(fresh_problem(matrix),
+                                    preconditioner="block_jacobi")
+        times = {}
+        for phi in (1, 3):
+            result = resilient_solve(fresh_problem(matrix), phi=phi,
+                                     preconditioner="block_jacobi")
+            times[phi] = result.simulated_time
+        assert times[1] > reference.simulated_time
+        assert times[3] > times[1]
+
+    def test_redundancy_phase_charged(self, matrix):
+        result = resilient_solve(fresh_problem(matrix), phi=2,
+                                 preconditioner="block_jacobi")
+        assert result.time_breakdown.get(Phase.REDUNDANCY_COMM, 0.0) > 0
+
+    def test_phi_zero_equals_reference_cost_model(self, matrix):
+        reference = reference_solve(fresh_problem(matrix),
+                                    preconditioner="block_jacobi")
+        result = resilient_solve(fresh_problem(matrix), phi=0,
+                                 preconditioner="block_jacobi")
+        assert result.iterations == reference.iterations
+        assert result.simulated_time == pytest.approx(reference.simulated_time,
+                                                      rel=1e-6)
+
+    def test_info_fields(self, matrix):
+        result = resilient_solve(fresh_problem(matrix), phi=2,
+                                 preconditioner="block_jacobi",
+                                 placement=BackupPlacement.NEXT_RANKS)
+        assert result.info["phi"] == 2
+        assert result.info["placement"] == "next_ranks"
+        assert "redundancy" in result.info
+
+
+class TestWithFailures:
+    def test_single_failure(self, matrix):
+        reference = reference_solve(fresh_problem(matrix),
+                                    preconditioner="block_jacobi")
+        result = resilient_solve(fresh_problem(matrix), phi=1,
+                                 preconditioner="block_jacobi",
+                                 failures=[(10, [2])])
+        assert result.converged
+        assert result.n_failures_recovered == 1
+        assert np.allclose(result.x, reference.x, atol=1e-7)
+
+    def test_three_simultaneous_failures(self, matrix):
+        result = resilient_solve(fresh_problem(matrix), phi=3,
+                                 preconditioner="block_jacobi",
+                                 failures=[(12, [1, 2, 3])])
+        assert result.converged
+        assert result.n_failures_recovered == 3
+        assert abs(result.relative_residual_deviation) < 1e-5
+
+    def test_two_separate_failure_events(self, matrix):
+        result = resilient_solve(fresh_problem(matrix), phi=2,
+                                 preconditioner="block_jacobi",
+                                 failures=[(5, [0]), (15, [4])])
+        assert result.converged
+        assert len(result.recoveries) == 2
+
+    def test_repeated_failure_of_same_rank(self, matrix):
+        result = resilient_solve(fresh_problem(matrix), phi=1,
+                                 preconditioner="block_jacobi",
+                                 failures=[(5, [2]), (20, [2])])
+        assert result.converged
+        assert len(result.recoveries) == 2
+
+    def test_failure_increases_runtime(self, matrix):
+        undisturbed = resilient_solve(fresh_problem(matrix), phi=3,
+                                      preconditioner="block_jacobi")
+        disturbed = resilient_solve(fresh_problem(matrix), phi=3,
+                                    preconditioner="block_jacobi",
+                                    failures=[(10, [1, 2, 3])])
+        assert disturbed.simulated_time > undisturbed.simulated_time
+        assert disturbed.simulated_recovery_time > 0
+
+    def test_failures_beyond_phi_raise(self, matrix):
+        with pytest.raises(UnrecoverableStateError):
+            resilient_solve(fresh_problem(matrix), phi=1,
+                            preconditioner="block_jacobi",
+                            failures=[(10, [1, 2, 3])])
+
+    def test_failure_event_objects_accepted(self, matrix):
+        result = resilient_solve(
+            fresh_problem(matrix), phi=2, preconditioner="block_jacobi",
+            failures=[FailureEvent(8, (0, 1), label="switch outage")],
+        )
+        assert result.converged
+
+
+class TestOverlappingFailures:
+    def test_overlap_restarts_reconstruction(self, matrix):
+        problem = fresh_problem(matrix, n_nodes=6)
+        precond = make_preconditioner("block_jacobi")
+        precond.setup(problem.matrix.to_global(), problem.partition)
+        injector = FailureInjector([
+            FailureEvent(10, (1, 2)),
+            FailureEvent(10, (4,), during_recovery_of=0),
+        ])
+        solver = ResilientPCG(problem.matrix, problem.rhs, precond, phi=3,
+                              failure_injector=injector,
+                              context=problem.context)
+        result = solver.solve()
+        assert result.converged
+        assert len(result.recoveries) == 1
+        report = result.recoveries[0]
+        assert report.restarts == 1
+        assert sorted(report.failed_ranks) == [1, 2, 4]
+        assert any("overlapping" in note for note in report.notes)
+
+    def test_overlap_recovers_exactly(self, matrix):
+        reference = reference_solve(fresh_problem(matrix, n_nodes=6),
+                                    preconditioner="block_jacobi")
+        problem = fresh_problem(matrix, n_nodes=6)
+        precond = make_preconditioner("block_jacobi")
+        precond.setup(problem.matrix.to_global(), problem.partition)
+        injector = FailureInjector([
+            FailureEvent(10, (0,)),
+            FailureEvent(10, (3,), during_recovery_of=0),
+        ])
+        solver = ResilientPCG(problem.matrix, problem.rhs, precond, phi=2,
+                              failure_injector=injector, context=problem.context)
+        result = solver.solve()
+        assert result.converged
+        assert np.allclose(result.x, reference.x, atol=1e-7)
+
+
+class TestValidation:
+    def test_negative_phi_rejected(self, matrix):
+        problem = fresh_problem(matrix)
+        precond = make_preconditioner("block_jacobi")
+        precond.setup(problem.matrix.to_global(), problem.partition)
+        with pytest.raises(ValueError):
+            ResilientPCG(problem.matrix, problem.rhs, precond, phi=-1)
+
+    def test_phi_at_least_node_count_rejected(self, matrix):
+        problem = fresh_problem(matrix)
+        precond = make_preconditioner("block_jacobi")
+        precond.setup(problem.matrix.to_global(), problem.partition)
+        with pytest.raises(ValueError):
+            ResilientPCG(problem.matrix, problem.rhs, precond, phi=5)

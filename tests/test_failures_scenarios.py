@@ -1,0 +1,129 @@
+"""Tests for failure scenarios and their resolution into concrete events."""
+
+import numpy as np
+import pytest
+
+from repro.failures import (
+    PAPER_FAILURE_COUNTS,
+    PAPER_PROGRESS_FRACTIONS,
+    FailureLocation,
+    FailureScenario,
+    OverlapSpec,
+    paper_scenarios,
+    resolve_events,
+)
+
+
+class TestFailureScenario:
+    def test_defaults(self):
+        scenario = FailureScenario(n_failures=3)
+        assert scenario.progress_fraction == 0.5
+        assert scenario.location is FailureLocation.START
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            FailureScenario(n_failures=0)
+        with pytest.raises(Exception):
+            FailureScenario(n_failures=1, progress_fraction=1.5)
+
+    def test_failure_iteration_scaling(self):
+        scenario = FailureScenario(n_failures=1, progress_fraction=0.2)
+        assert scenario.failure_iteration(100) == 20
+        assert FailureScenario(1, 0.8).failure_iteration(100) == 80
+
+    def test_failure_iteration_clamped(self):
+        assert FailureScenario(1, 1.0).failure_iteration(50) == 49
+        assert FailureScenario(1, 0.0).failure_iteration(50) == 0
+        assert FailureScenario(1, 0.5).failure_iteration(0) == 0
+
+    def test_start_location_ranks(self):
+        scenario = FailureScenario(n_failures=3, location=FailureLocation.START)
+        assert scenario.failed_ranks(16) == [0, 1, 2]
+
+    def test_center_location_ranks(self):
+        scenario = FailureScenario(n_failures=3, location=FailureLocation.CENTER)
+        assert scenario.failed_ranks(16) == [8, 9, 10]
+
+    def test_end_location_ranks(self):
+        scenario = FailureScenario(n_failures=2, location=FailureLocation.END)
+        assert scenario.failed_ranks(8) == [6, 7]
+
+    def test_random_location_ranks(self):
+        scenario = FailureScenario(n_failures=4, location=FailureLocation.RANDOM)
+        ranks = scenario.failed_ranks(16, rng=np.random.default_rng(0))
+        assert len(set(ranks)) == 4
+        assert all(0 <= r < 16 for r in ranks)
+
+    def test_too_many_failures_rejected(self):
+        scenario = FailureScenario(n_failures=8)
+        with pytest.raises(ValueError):
+            scenario.failed_ranks(8)
+
+    def test_describe(self):
+        scenario = FailureScenario(n_failures=3, progress_fraction=0.2,
+                                   location=FailureLocation.CENTER)
+        text = scenario.describe()
+        assert "psi=3" in text and "20%" in text and "center" in text
+
+
+class TestOverlaps:
+    def test_overlap_ranks_avoid_primary(self):
+        scenario = FailureScenario(n_failures=2, overlaps=(OverlapSpec(1),))
+        primary = scenario.failed_ranks(8)
+        overlaps = scenario.overlap_ranks(8, primary)
+        assert len(overlaps) == 1
+        assert not set(overlaps[0]) & set(primary)
+
+    def test_multiple_overlap_specs(self):
+        scenario = FailureScenario(
+            n_failures=1, overlaps=(OverlapSpec(1), OverlapSpec(2)),
+        )
+        primary = scenario.failed_ranks(10)
+        overlaps = scenario.overlap_ranks(10, primary)
+        flat = [r for group in overlaps for r in group]
+        assert len(flat) == len(set(flat)) == 3
+
+    def test_resolve_includes_overlap_events(self):
+        scenario = FailureScenario(n_failures=2, progress_fraction=0.5,
+                                   overlaps=(OverlapSpec(1),))
+        events = resolve_events(scenario, n_nodes=8, reference_iterations=40)
+        assert len(events) == 2
+        assert events[0].during_recovery_of is None
+        assert events[1].during_recovery_of == 0
+
+
+class TestResolveEvents:
+    def test_basic_resolution(self):
+        scenario = FailureScenario(n_failures=3, progress_fraction=0.2,
+                                   location=FailureLocation.CENTER)
+        (event,) = resolve_events(scenario, n_nodes=16, reference_iterations=200)
+        assert event.iteration == 40
+        assert event.ranks == (8, 9, 10)
+
+    def test_paper_grid(self):
+        scenarios = paper_scenarios()
+        assert len(scenarios) == len(PAPER_FAILURE_COUNTS) * len(PAPER_PROGRESS_FRACTIONS)
+        counts = {s.n_failures for s in scenarios}
+        assert counts == set(PAPER_FAILURE_COUNTS)
+        fractions = {s.progress_fraction for s in scenarios}
+        assert fractions == set(PAPER_PROGRESS_FRACTIONS)
+
+    def test_paper_constants(self):
+        assert PAPER_FAILURE_COUNTS == (1, 3, 8)
+        assert PAPER_PROGRESS_FRACTIONS == (0.2, 0.5, 0.8)
+
+    def test_resolved_events_runnable(self):
+        """Resolved events drive an actual resilient solve."""
+        from repro.cluster import MachineModel
+        from repro.core.api import distribute_problem, resilient_solve
+        from repro.matrices import poisson_2d
+
+        scenario = FailureScenario(n_failures=2, progress_fraction=0.5,
+                                   location=FailureLocation.CENTER)
+        events = resolve_events(scenario, n_nodes=4, reference_iterations=30)
+        problem = distribute_problem(poisson_2d(16), n_nodes=4,
+                                     machine=MachineModel(jitter_rel_std=0.0))
+        result = resilient_solve(problem, phi=2, failures=events,
+                                 preconditioner="block_jacobi")
+        assert result.converged
+        assert result.n_failures_recovered == 2

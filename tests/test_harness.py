@@ -1,0 +1,174 @@
+"""Tests for the experiment harness (runner, tables, figures).
+
+These use a small custom matrix and tiny repetition counts so the full
+Table-2-style pipeline runs in seconds while still exercising every code path
+the benchmarks rely on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.failures import FailureLocation, FailureScenario
+from repro.harness import (
+    BoxStats,
+    ExperimentConfig,
+    figure_series,
+    format_table,
+    progress_sweep,
+    render_table1,
+    render_table2,
+    render_table3,
+    run_experiment,
+    run_failure_free,
+    run_matrix_study,
+    run_reference,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+)
+from repro.harness.experiment import run_with_failures
+from repro.matrices import poisson_2d
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(
+        matrix=poisson_2d(16),        # n = 256, fast
+        n_nodes=4,
+        repetitions=2,
+        preconditioner="block_jacobi",
+        jitter_rel_std=0.01,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="module")
+def study(config):
+    return run_matrix_study(
+        config, phis=(1, 2),
+        locations=(FailureLocation.START, FailureLocation.CENTER),
+        fractions=(0.5,),
+    )
+
+
+class TestExperimentRunner:
+    def test_reference_runs(self, config):
+        result = run_reference(config)
+        assert result.n == 2
+        assert result.all_converged
+        assert result.mean() > 0
+        assert result.std() >= 0
+        assert result.mean_iterations > 1
+
+    def test_failure_free_overhead_positive(self, config):
+        reference = run_reference(config)
+        undisturbed = run_failure_free(config, phi=2)
+        assert undisturbed.all_converged
+        assert undisturbed.mean() > reference.mean()
+
+    def test_run_with_failures(self, config):
+        scenario = FailureScenario(n_failures=2, progress_fraction=0.5,
+                                   location=FailureLocation.START)
+        result = run_with_failures(config, 2, scenario, reference_iterations=20)
+        assert result.all_converged
+        assert all(r.n_failures == 2 for r in result.repetitions)
+        assert result.mean("recovery_time") > 0
+
+    def test_run_experiment_dispatch(self, config):
+        assert run_experiment(config).n == 2
+        assert run_experiment(config, phi=1).n == 2
+        scenario = FailureScenario(n_failures=1, progress_fraction=0.5)
+        assert run_experiment(config, phi=1, scenario=scenario).n == 2
+
+    def test_repetitions_vary_with_jitter(self, config):
+        result = run_reference(config)
+        times = result.times()
+        assert len(set(times)) > 1
+
+    def test_summary_fields(self, config):
+        summary = run_reference(config).summary()
+        assert {"label", "mean_time", "std_time", "mean_iterations"} <= set(summary)
+
+
+class TestMatrixStudy:
+    def test_study_quantities(self, study):
+        assert study.t0 > 0
+        for phi in (1, 2):
+            overhead = study.undisturbed_overhead(phi)
+            assert np.isfinite(overhead)
+        assert study.undisturbed_overhead(2) >= study.undisturbed_overhead(1) - 5.0
+
+    def test_reconstruction_and_failure_overheads(self, study):
+        for phi in (1, 2):
+            for location in ("start", "center"):
+                mean_rec, std_rec = study.reconstruction_time(phi, location)
+                mean_tot, _ = study.overhead_with_failures(phi, location)
+                assert mean_rec > 0
+                assert std_rec >= 0
+                assert mean_tot > 0
+
+    def test_residual_deviation_metrics(self, study):
+        assert np.isfinite(study.max_delta_esr())
+        assert np.isfinite(study.delta_pcg())
+
+    def test_phi_capped_by_node_count(self, config):
+        study = run_matrix_study(config, phis=(1, 99), locations=(FailureLocation.START,),
+                                 fractions=(0.5,))
+        assert list(study.undisturbed.keys()) == [1]
+
+
+class TestTables:
+    def test_table1(self):
+        rows = table1_rows(ids=["M1", "M3"], n=600)
+        text = render_table1(rows)
+        assert "parabolic_fem" in text and "G3_circuit" in text
+
+    def test_table2(self, study):
+        rows = table2_rows([study])
+        assert len(rows) == 2  # one per location
+        for row in rows:
+            assert row["t0"] == pytest.approx(study.t0)
+            assert "undisturbed_overhead_phi1" in row
+            assert "overhead_failures_phi2" in row
+        text = render_table2([study])
+        assert "Table 2" in text and "+/-" in text
+
+    def test_table3(self, study):
+        rows = table3_rows([study])
+        assert len(rows) == 1
+        text = render_table3([study])
+        assert "Delta_PCG" in text
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["xyz", 3e-7]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        # title + header + separator + two data rows
+        assert len(lines) == 5
+        assert "3.00e-07" in lines[-1]
+
+
+class TestFigures:
+    def test_box_stats(self):
+        box = BoxStats([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert box.median == 3.0
+        assert box.q1 <= box.median <= box.q3
+        assert box.whisker_high <= 100.0
+        d = box.as_dict()
+        assert d["n"] == 5
+
+    def test_figure_series(self, study):
+        series = figure_series(study, FailureLocation.CENTER)
+        assert series.phis() == [1, 2]
+        assert series.reference_mean == pytest.approx(study.t0)
+        overhead = series.relative_overhead(2)
+        assert np.isfinite(overhead)
+        assert "Figure panel" in series.render()
+
+    def test_progress_sweep(self, config):
+        sweep = progress_sweep(config, phi=1, location=FailureLocation.START,
+                               fractions=(0.2, 0.8))
+        assert sweep.fractions() == [0.2, 0.8]
+        assert all(m > 0 for m in sweep.medians())
+        assert np.isfinite(sweep.spread())
+        assert "Figure 4" in sweep.render()

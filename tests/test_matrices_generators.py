@@ -1,0 +1,158 @@
+"""Tests for the SPD matrix generators."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.matrices import generators as gen
+from repro.matrices.properties import is_symmetric
+from repro.utils.validation import check_spd_sample
+
+
+def assert_spd(matrix):
+    check_spd_sample(matrix, n_probes=3)
+
+
+class TestStencils:
+    def test_poisson_1d(self):
+        a = gen.poisson_1d(10)
+        assert a.shape == (10, 10)
+        assert a.nnz == 28
+        assert_spd(a)
+
+    def test_poisson_2d_shape_and_nnz_per_row(self):
+        a = gen.poisson_2d(12)
+        assert a.shape == (144, 144)
+        assert a.nnz / 144 <= 5.0
+        assert_spd(a)
+
+    def test_poisson_2d_rectangular(self):
+        a = gen.poisson_2d(6, 9)
+        assert a.shape == (54, 54)
+
+    def test_poisson_2d_9point(self):
+        a = gen.poisson_2d_9point(10)
+        assert a.shape == (100, 100)
+        per_row = a.nnz / 100
+        assert 6.0 < per_row <= 9.0
+        assert_spd(a)
+
+    def test_poisson_3d(self):
+        a = gen.poisson_3d(5)
+        assert a.shape == (125, 125)
+        assert a.nnz / 125 <= 7.0
+        assert_spd(a)
+
+    def test_anisotropic_diffusion(self):
+        a = gen.anisotropic_diffusion_2d(10, epsilon=0.01, theta=np.pi / 6)
+        assert a.shape == (100, 100)
+        assert is_symmetric(a)
+        assert_spd(a)
+
+    def test_anisotropic_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            gen.anisotropic_diffusion_2d(5, epsilon=0.0)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            gen.poisson_1d(0)
+
+
+class TestIrregular:
+    def test_graph_laplacian_properties(self):
+        a = gen.graph_laplacian_spd(300, avg_degree=4.0, seed=0)
+        assert a.shape == (300, 300)
+        assert is_symmetric(a)
+        assert_spd(a)
+        # roughly avg_degree + 1 non-zeros per row
+        assert 3.0 < a.nnz / 300 < 8.0
+
+    def test_graph_laplacian_deterministic(self):
+        a = gen.graph_laplacian_spd(100, seed=7)
+        b = gen.graph_laplacian_spd(100, seed=7)
+        assert (a != b).nnz == 0
+
+    def test_graph_laplacian_seed_changes_pattern(self):
+        a = gen.graph_laplacian_spd(100, seed=1)
+        b = gen.graph_laplacian_spd(100, seed=2)
+        assert (a != b).nnz > 0
+
+    def test_unstructured_mesh(self):
+        a = gen.unstructured_mesh_spd(400, target_nnz_per_row=7.0, seed=0)
+        assert is_symmetric(a)
+        assert_spd(a)
+        assert 4.0 < a.nnz / 400 < 10.0
+
+    def test_unstructured_mesh_invalid_target(self):
+        with pytest.raises(ValueError):
+            gen.unstructured_mesh_spd(100, target_nnz_per_row=2.0)
+
+    def test_graph_laplacian_too_small(self):
+        with pytest.raises(ValueError):
+            gen.graph_laplacian_spd(1)
+
+
+class TestStructural:
+    def test_elasticity_shape(self):
+        a = gen.elasticity_3d(4, 4, 4, dofs_per_node=3)
+        assert a.shape == (192, 192)
+        assert is_symmetric(a)
+        assert_spd(a)
+
+    def test_elasticity_wide_rows(self):
+        a = gen.elasticity_3d(5, 5, 5, dofs_per_node=3)
+        # interior vertices couple to 27 neighbours x 3 dofs
+        assert a.nnz / a.shape[0] > 30
+
+    def test_elasticity_single_dof(self):
+        a = gen.elasticity_3d(4, 4, 4, dofs_per_node=1)
+        assert a.shape == (64, 64)
+        assert_spd(a)
+
+    def test_elasticity_invalid_params(self):
+        with pytest.raises(ValueError):
+            gen.elasticity_3d(4, dofs_per_node=0)
+        with pytest.raises(ValueError):
+            gen.elasticity_3d(4, neighbor_radius=0)
+        with pytest.raises(ValueError):
+            gen.elasticity_3d(4, coupling=1.5)
+
+
+class TestRandomSPD:
+    def test_banded(self):
+        a = gen.banded_spd(200, half_bandwidth=10, seed=0)
+        assert is_symmetric(a)
+        assert_spd(a)
+        coo = sp.coo_matrix(a)
+        assert np.max(np.abs(coo.row - coo.col)) <= 10
+
+    def test_banded_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            gen.banded_spd(10, half_bandwidth=10)
+        with pytest.raises(ValueError):
+            gen.banded_spd(10, half_bandwidth=0)
+
+    def test_diagonally_dominant(self):
+        a = gen.diagonally_dominant_spd(150, nnz_per_row=6, seed=0)
+        assert is_symmetric(a)
+        assert_spd(a)
+
+    def test_diagonally_dominant_deterministic(self):
+        a = gen.diagonally_dominant_spd(50, seed=3)
+        b = gen.diagonally_dominant_spd(50, seed=3)
+        assert (a != b).nnz == 0
+
+
+class TestGridDimensions:
+    def test_2d(self):
+        nx, ny = gen.grid_dimensions_for(400, dims=2)
+        assert nx == ny == 20
+
+    def test_3d_with_dofs(self):
+        dims = gen.grid_dimensions_for(3000, dims=3, dofs_per_node=3)
+        assert len(dims) == 3
+        assert abs(np.prod(dims) * 3 - 3000) / 3000 < 0.5
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            gen.grid_dimensions_for(0)

@@ -1,0 +1,87 @@
+"""Tests for the synthetic Table-1 matrix suite."""
+
+import pytest
+
+from repro.matrices.properties import is_symmetric, nnz_per_row
+from repro.matrices.suite import build_matrix, get_record, matrix_ids, suite_table
+from repro.utils.validation import check_spd_sample
+
+
+class TestRecords:
+    def test_all_eight_matrices_present(self):
+        assert matrix_ids() == [f"M{i}" for i in range(1, 9)]
+
+    def test_record_metadata(self):
+        record = get_record("M5")
+        assert record.original_name == "Emilia_923"
+        assert record.problem_type == "Structural"
+        assert record.original_n == 923_136
+        assert record.original_nnz_per_row == pytest.approx(43.7, abs=0.5)
+
+    def test_case_insensitive_lookup(self):
+        assert get_record("m3").original_name == "G3_circuit"
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError):
+            get_record("M99")
+
+    def test_describe(self):
+        assert "audikw_1" in get_record("M8").describe()
+
+    def test_ordered_by_increasing_nnz(self):
+        nnzs = [get_record(mid).original_nnz for mid in matrix_ids()]
+        assert nnzs == sorted(nnzs)
+
+
+class TestAnalogues:
+    @pytest.mark.parametrize("matrix_id", ["M1", "M3", "M4"])
+    def test_analogues_are_spd(self, matrix_id):
+        a = build_matrix(matrix_id, n=1500, seed=0)
+        assert is_symmetric(a)
+        check_spd_sample(a, n_probes=2)
+
+    def test_structural_analogue_spd(self):
+        a = build_matrix("M8", n=800, seed=0)
+        assert is_symmetric(a)
+        check_spd_sample(a, n_probes=2)
+
+    def test_target_size_roughly_respected(self):
+        a = build_matrix("M3", n=2000, seed=0)
+        assert 1500 <= a.shape[0] <= 2500
+
+    def test_sparse_vs_dense_regimes(self):
+        sparse_analogue = build_matrix("M3", n=2000, seed=0)   # circuit-like
+        dense_analogue = build_matrix("M8", n=2000, seed=0)    # structural
+        sparse_rows = sparse_analogue.nnz / sparse_analogue.shape[0]
+        dense_rows = dense_analogue.nnz / dense_analogue.shape[0]
+        assert sparse_rows < 8
+        assert dense_rows > 25
+        assert dense_rows > 3 * sparse_rows
+
+    def test_deterministic_for_fixed_seed(self):
+        a = build_matrix("M4", n=1000, seed=5)
+        b = build_matrix("M4", n=1000, seed=5)
+        assert (a != b).nnz == 0
+
+    def test_too_small_target_rejected(self):
+        with pytest.raises(ValueError):
+            build_matrix("M1", n=4)
+
+
+class TestSuiteTable:
+    def test_rows_for_selected_ids(self):
+        rows = suite_table(n=800, ids=["M1", "M3"])
+        assert [r["id"] for r in rows] == ["M1", "M3"]
+        for row in rows:
+            assert row["analogue_n"] > 0
+            assert row["analogue_nnz"] > 0
+            assert row["original_nnz_per_row"] > 0
+
+    def test_row_fields(self):
+        (row,) = suite_table(n=800, ids=["M4"])
+        expected_keys = {
+            "id", "name", "problem_type", "original_n", "original_nnz",
+            "original_nnz_per_row", "analogue_n", "analogue_nnz",
+            "analogue_nnz_per_row", "analogue_half_bandwidth",
+        }
+        assert expected_keys <= set(row.keys())

@@ -1,0 +1,175 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import MachineModel, VirtualCluster
+from repro.core.redundancy import BackupPlacement, RedundancyScheme, backup_targets
+from repro.distributed import (
+    BlockRowPartition,
+    CommunicationContext,
+    DistributedMatrix,
+    DistributedVector,
+)
+
+COMMON_SETTINGS = settings(
+    max_examples=25, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ---------------------------------------------------------------------------
+# partition properties
+# ---------------------------------------------------------------------------
+
+@COMMON_SETTINGS
+@given(n=st.integers(1, 5000), n_parts=st.integers(1, 64))
+def test_partition_covers_indices_exactly_once(n, n_parts):
+    if n_parts > n:
+        n_parts = n
+    part = BlockRowPartition(n, n_parts)
+    sizes = part.sizes()
+    assert int(sizes.sum()) == n
+    assert int(sizes.max()) - int(sizes.min()) <= 1
+    assert int(sizes.max()) == part.max_block_size()
+    # contiguity and completeness
+    offsets = part.offsets
+    assert offsets[0] == 0 and offsets[-1] == n
+    assert np.all(np.diff(offsets) == sizes)
+
+
+@COMMON_SETTINGS
+@given(n=st.integers(2, 2000), n_parts=st.integers(1, 32),
+       probe=st.integers(0, 10**6))
+def test_partition_ownership_consistent(n, n_parts, probe):
+    n_parts = min(n_parts, n)
+    part = BlockRowPartition(n, n_parts)
+    index = probe % n
+    owner = part.owner_of_scalar(index)
+    start, stop = part.range_of(owner)
+    assert start <= index < stop
+    assert part.local_index(owner, np.array([index]))[0] == index - start
+
+
+# ---------------------------------------------------------------------------
+# backup target properties (Eqn. 5)
+# ---------------------------------------------------------------------------
+
+@COMMON_SETTINGS
+@given(n_nodes=st.integers(2, 100), owner=st.integers(0, 99),
+       phi=st.integers(0, 20),
+       placement=st.sampled_from(list(BackupPlacement)))
+def test_backup_targets_distinct_and_not_owner(n_nodes, owner, phi, placement):
+    owner = owner % n_nodes
+    phi = min(phi, n_nodes - 1)
+    targets = backup_targets(owner, phi, n_nodes, placement)
+    assert len(targets) == phi
+    assert len(set(targets)) == phi
+    assert owner not in targets
+    assert all(0 <= t < n_nodes for t in targets)
+
+
+# ---------------------------------------------------------------------------
+# communication context + redundancy invariant on random sparsity patterns
+# ---------------------------------------------------------------------------
+
+def random_spd(n, density, seed):
+    rng = np.random.default_rng(seed)
+    a = sp.random(n, n, density=density, random_state=rng, format="csr")
+    a = a + a.T
+    rowsum = np.asarray(abs(a).sum(axis=1)).ravel()
+    return sp.csr_matrix(a + sp.diags(rowsum + 1.0))
+
+
+@COMMON_SETTINGS
+@given(n=st.integers(24, 160), n_nodes=st.integers(2, 8),
+       density=st.floats(0.005, 0.15), phi=st.integers(0, 4),
+       seed=st.integers(0, 10**6))
+def test_redundancy_invariant_random_patterns(n, n_nodes, density, phi, seed):
+    """Every element gets >= phi off-node copies for arbitrary sparsity."""
+    n_nodes = min(n_nodes, n)
+    phi = min(phi, n_nodes - 1)
+    matrix = random_spd(n, density, seed)
+    cluster = VirtualCluster(n_nodes, machine=MachineModel(jitter_rel_std=0.0))
+    partition = BlockRowPartition(n, n_nodes)
+    dist = DistributedMatrix.from_global(cluster, partition, "A", matrix)
+    context = CommunicationContext.from_matrix(dist)
+    scheme = RedundancyScheme(context, phi)
+    assert scheme.verify_invariant()
+    # the overhead always respects the analytic bounds of Sec. 4.2
+    lower, upper = scheme.overhead_bounds(cluster.topology, cluster.machine)
+    total = scheme.per_iteration_overhead_time(cluster.topology, cluster.machine)
+    assert lower - 1e-15 <= total <= upper + 1e-15
+
+
+@COMMON_SETTINGS
+@given(n=st.integers(24, 120), n_nodes=st.integers(2, 6),
+       density=st.floats(0.01, 0.2), seed=st.integers(0, 10**6))
+def test_context_send_sets_partition_consistent(n, n_nodes, density, seed):
+    """S_ik contains only indices owned by i and needed by k."""
+    n_nodes = min(n_nodes, n)
+    matrix = random_spd(n, density, seed)
+    cluster = VirtualCluster(n_nodes, machine=MachineModel(jitter_rel_std=0.0))
+    partition = BlockRowPartition(n, n_nodes)
+    dist = DistributedMatrix.from_global(cluster, partition, "A", matrix)
+    context = CommunicationContext.from_matrix(dist)
+    for edge in context.edges():
+        assert np.all(partition.owner_of(edge.indices) == edge.src)
+        needed = dist.needed_column_indices(edge.dst)
+        assert np.isin(edge.indices, needed).all()
+    # multiplicities are consistent with the total exchanged volume
+    total = sum(int(context.multiplicity(o).sum()) for o in range(n_nodes))
+    assert total == context.total_exchanged_elements()
+
+
+# ---------------------------------------------------------------------------
+# distributed vector round-trips and reductions
+# ---------------------------------------------------------------------------
+
+@COMMON_SETTINGS
+@given(n=st.integers(4, 400), n_nodes=st.integers(1, 12),
+       seed=st.integers(0, 10**6))
+def test_dvector_roundtrip_and_dot(n, n_nodes, seed):
+    n_nodes = min(n_nodes, n)
+    rng = np.random.default_rng(seed)
+    values = rng.standard_normal(n)
+    other = rng.standard_normal(n)
+    cluster = VirtualCluster(n_nodes, machine=MachineModel(jitter_rel_std=0.0))
+    partition = BlockRowPartition(n, n_nodes)
+    a = DistributedVector.from_global(cluster, partition, "a", values)
+    b = DistributedVector.from_global(cluster, partition, "b", other)
+    assert np.allclose(a.to_global(), values)
+    assert a.dot(b) == pytest.approx(float(values @ other), rel=1e-10, abs=1e-12)
+    assert a.norm2() == pytest.approx(float(np.linalg.norm(values)), rel=1e-10)
+    alpha = float(rng.standard_normal())
+    a.axpy(alpha, b)
+    assert np.allclose(a.to_global(), values + alpha * other)
+
+
+# ---------------------------------------------------------------------------
+# sequential PCG properties
+# ---------------------------------------------------------------------------
+
+@COMMON_SETTINGS
+@given(n=st.integers(10, 120), nnz_per_row=st.integers(2, 8),
+       seed=st.integers(0, 10**6))
+def test_pcg_solves_random_spd_systems(n, nnz_per_row, seed):
+    from repro.matrices import diagonally_dominant_spd
+    from repro.solvers import pcg
+    from repro.precond import JacobiPreconditioner
+
+    a = diagonally_dominant_spd(n, nnz_per_row=nnz_per_row, seed=seed)
+    rng = np.random.default_rng(seed)
+    x_exact = rng.standard_normal(n)
+    b = a @ x_exact
+    precond = JacobiPreconditioner()
+    precond.setup(a)
+    result = pcg(a, b, preconditioner=precond, rtol=1e-12,
+                 max_iterations=5 * n)
+    assert result.converged
+    assert np.allclose(result.x, x_exact, rtol=1e-6, atol=1e-8)
+    # residual history is consistent with the returned final norm
+    assert result.residual_norms[-1] == pytest.approx(result.final_residual_norm)
