@@ -165,7 +165,12 @@ class InterpolationRecoveryPCG(FailureHandlingMixin, DistributedPCG):
         self._restart_krylov()
 
     def _restart_krylov(self) -> None:
-        """Recompute r, z, p and the recurrence scalars from the patched x."""
+        """Recompute r, z, p and the recurrence scalars from the patched x.
+
+        Runs on the cached local-view SpMV engine (the solver's prebuilt
+        context), which was invalidated and rebuilt when the replacement
+        nodes got their matrix blocks restored.
+        """
         from ..distributed.spmv import distributed_spmv
 
         distributed_spmv(self.matrix, self.x, self.ap, self.context)

@@ -54,7 +54,13 @@ class FullRestartPCG(FailureHandlingMixin, DistributedPCG):
         return True
 
     def _restart_from_scratch(self) -> None:
-        """Reset the dynamic state to the initial guess (zero iterate)."""
+        """Reset the dynamic state to the initial guess (zero iterate).
+
+        The residual recomputation goes through ``distributed_spmv`` with the
+        solver's prebuilt context, so it runs on the cached local-view SpMV
+        engine (rebuilt automatically after ``_install_replacements``
+        restored the matrix blocks).
+        """
         from ..distributed.spmv import distributed_spmv
 
         self.x.fill(0.0)

@@ -153,7 +153,13 @@ class DistributedPCG:
         )
 
     def _spmv_p(self) -> None:
-        """(Re)compute ``ap = A p`` -- split out so recovery can repeat it."""
+        """(Re)compute ``ap = A p`` -- split out so recovery can repeat it.
+
+        Executes through the local-view SpMV engine cached on the matrix for
+        the solver's prebuilt context (``O(nnz + ghosts)`` per call); the
+        cache is invalidated automatically when recovery restores matrix
+        blocks on replacement nodes.
+        """
         distributed_spmv(self.matrix, self.p, self.ap, self.context)
 
     # -- main loop ----------------------------------------------------------------------
@@ -240,9 +246,14 @@ class DistributedPCG:
         total = ledger.since(start_snapshot)
         iteration_time = ledger.since(start_snapshot, Phase.ITERATION_PHASES)
         recovery_time = ledger.since(start_snapshot, Phase.RECOVERY_PHASES)
+        # Only phases actually charged during THIS solve: a second solve on
+        # the same cluster must not report stale zero-delta phases left on
+        # the ledger by an earlier run.
         breakdown = {
             phase: ledger.since(start_snapshot, [phase])
-            for phase in sorted(set(list(ledger.times.keys())))
+            for phase in sorted(ledger.times)
+            if phase not in start_snapshot
+            or ledger.times[phase] != start_snapshot[phase]
         }
         result = DistributedSolveResult(
             x=x_global,

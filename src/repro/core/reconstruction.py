@@ -102,13 +102,19 @@ class ESRReconstructor:
 
     # -- form selection -------------------------------------------------------------
     def reconstruction_form(self) -> PreconditionerForm:
-        """Which reconstruction variant will be used for the preconditioner."""
+        """Which reconstruction variant will be used for the preconditioner.
+
+        An explicitly requested form is honoured as-is.  Otherwise the
+        preconditioner's natural form is used, except that SPLIT (only a
+        factor ``L`` with ``M = L L^T`` is available) reduces to the FORWARD
+        variant: the reconstruction multiplies by ``M = L L^T`` row-wise.
+        """
         if self._requested_form is not None:
             return self._requested_form
         form = self.preconditioner.form
         if form is PreconditionerForm.SPLIT:
             # The split variant reduces to the forward variant via M = L L^T.
-            return PreconditionerForm.SPLIT
+            return PreconditionerForm.FORWARD
         return form
 
     # -- main entry point ----------------------------------------------------------------
@@ -191,8 +197,6 @@ class ESRReconstructor:
 
         failed = sorted(set(int(f) for f in failed_ranks))
         failed_indices = partition.indices_of_set(failed)
-        surviving_mask = np.ones(partition.n, dtype=bool)
-        surviving_mask[failed_indices] = False
 
         # Step 1: static data from reliable storage (charged to recovery.storage).
         a_rows = self.matrix.recovery_rows(failed, charge=True)
@@ -231,14 +235,14 @@ class ESRReconstructor:
 
         # Steps 5-6: reconstruct the residual r_{I_f}.
         r_blocks, local_stats_r = self._reconstruct_residual(
-            failed, failed_indices, surviving_mask, z_blocks, r, z
+            failed, failed_indices, z_blocks, r, z
         )
         if local_stats_r is not None:
             report.local_solve_stats.append(local_stats_r)
 
         # Steps 7-8: reconstruct the iterate x_{I_f}.
         x_blocks, local_stats_x = self._reconstruct_iterate(
-            failed, failed_indices, surviving_mask, a_rows, r_blocks, x
+            failed, failed_indices, a_rows, r_blocks, x
         )
         if local_stats_x is not None:
             report.local_solve_stats.append(local_stats_x)
@@ -254,7 +258,6 @@ class ESRReconstructor:
 
     # -- residual reconstruction (preconditioner-form dependent) --------------------------------
     def _reconstruct_residual(self, failed: List[int], failed_indices: np.ndarray,
-                              surviving_mask: np.ndarray,
                               z_blocks: Dict[int, np.ndarray],
                               r: DistributedVector, z: DistributedVector):
         form = self.reconstruction_form()
@@ -269,11 +272,13 @@ class ESRReconstructor:
         if form is PreconditionerForm.INVERSE:
             # v = z_{I_f} - P_{I_f, I\I_f} r_{I\I_f};  P_{I_f,I_f} r_{I_f} = v
             p_rows = self.preconditioner.inverse_rows(failed_indices)
-            r_masked = self._gather_survivor_vector(r, failed, surviving_mask,
+            surv_cols = _referenced_columns(p_rows, failed_indices,
+                                            survivors_only=True)
+            off_diag = p_rows[:, surv_cols].tocsr()
+            off_diag.eliminate_zeros()
+            r_values = self._gather_survivor_values(r, failed, surv_cols,
                                                     purpose="r")
-            off_diag = p_rows.copy()
-            off_diag = _zero_columns(off_diag, failed_indices)
-            v = z_failed - off_diag @ r_masked
+            v = z_failed - off_diag @ r_values
             p_sub = p_rows[:, failed_indices]
             solver = LocalSubsystemSolver(self.local_solver_method,
                                           rtol=self.local_rtol)
@@ -281,14 +286,21 @@ class ESRReconstructor:
             self._charge_local_solve(solver)
             return self._split_to_blocks(failed, r_failed), solver.last_stats
 
-        # FORWARD and SPLIT: r_{I_f} = M_{I_f, I} z  (with M = L L^T for SPLIT)
+        # FORWARD (and SPLIT, which reduces to it): r_{I_f} = M_{I_f, I} z.
+        # One compressed matvec over all referenced columns: survivor values
+        # are gathered through the index maps, the failed part comes from the
+        # freshly reconstructed z_{I_f}.
         m_rows = self.preconditioner.forward_rows(failed_indices)
-        z_full = self._gather_survivor_vector(z, failed, surviving_mask,
-                                              purpose="z")
-        # insert the reconstructed z_{I_f} values
-        z_full = z_full.copy()
-        z_full[failed_indices] = z_failed
-        r_failed = m_rows @ z_full
+        cols = _referenced_columns(m_rows, failed_indices)
+        is_failed_col = np.isin(cols, failed_indices)
+        z_values = np.zeros(cols.size)
+        z_values[~is_failed_col] = self._gather_survivor_values(
+            z, failed, cols[~is_failed_col], purpose="z"
+        )
+        z_values[is_failed_col] = z_failed[
+            np.searchsorted(failed_indices, cols[is_failed_col])
+        ]
+        r_failed = m_rows[:, cols].tocsr() @ z_values
         self.cluster.ledger.add_time(
             Phase.RECOVERY_COMPUTE,
             self.cluster.ledger.model.spmv_time(int(m_rows.nnz)),
@@ -297,7 +309,7 @@ class ESRReconstructor:
 
     # -- iterate reconstruction -------------------------------------------------------------------
     def _reconstruct_iterate(self, failed: List[int], failed_indices: np.ndarray,
-                             surviving_mask: np.ndarray, a_rows: sp.csr_matrix,
+                             a_rows: sp.csr_matrix,
                              r_blocks: Dict[int, np.ndarray],
                              x: DistributedVector):
         partition = self.partition
@@ -307,10 +319,13 @@ class ESRReconstructor:
         r_failed = np.concatenate([r_blocks[rank] for rank in failed]) if failed \
             else np.zeros(0)
 
-        x_masked = self._gather_survivor_vector(x, failed, surviving_mask,
+        surv_cols = _referenced_columns(a_rows, failed_indices,
+                                        survivors_only=True)
+        off_diag = a_rows[:, surv_cols].tocsr()
+        off_diag.eliminate_zeros()
+        x_values = self._gather_survivor_values(x, failed, surv_cols,
                                                 purpose="x")
-        off_diag = _zero_columns(a_rows.copy(), failed_indices)
-        w = b_failed - r_failed - off_diag @ x_masked
+        w = b_failed - r_failed - off_diag @ x_values
         self.cluster.ledger.add_time(
             Phase.RECOVERY_COMPUTE,
             self.cluster.ledger.model.spmv_time(int(off_diag.nnz)),
@@ -335,24 +350,32 @@ class ESRReconstructor:
             offset += size
         return blocks
 
-    def _gather_survivor_vector(self, vector: DistributedVector,
-                                failed: List[int], surviving_mask: np.ndarray,
+    def _gather_survivor_values(self, vector: DistributedVector,
+                                failed: List[int], columns: np.ndarray,
                                 purpose: str) -> np.ndarray:
-        """Assemble a global vector with survivors' blocks and zeros at ``I_f``.
+        """Survivor-owned entries of *vector* at the global indices *columns*.
 
-        The communication of the surviving entries to the replacement nodes is
-        charged per (survivor -> replacement) message, with message sizes given
-        by the SpMV scatter pattern (only entries with non-zeros in the failed
-        rows are actually needed, exactly as in the paper's reverse-scatter
-        implementation, Sec. 6).
+        This is the vectorized reverse scatter: instead of assembling a dense
+        global zero vector per recovery, only the entries the reconstruction
+        actually references (*columns*, sorted and survivor-owned) are
+        gathered block-by-block through the same compressed index maps the
+        SpMV engine uses.  The communication of the surviving entries to the
+        replacement nodes is charged per (survivor -> replacement) message,
+        with message sizes given by the SpMV scatter pattern (exactly as in
+        the paper's reverse-scatter implementation, Sec. 6).
         """
         partition = self.partition
         ledger = self.cluster.ledger
-        out = np.zeros(partition.n)
-        for rank in range(partition.n_parts):
-            if rank in failed:
-                continue
-            out[partition.slice_of(rank)] = vector.get_block(rank)
+        out = np.empty(columns.size)
+        if columns.size:
+            owners = partition.owner_of(columns)
+            uniq, starts = np.unique(owners, return_index=True)
+            bounds = np.append(starts, columns.size)
+            for j, rank in enumerate(uniq):
+                rank = int(rank)
+                lo, hi = int(bounds[j]), int(bounds[j + 1])
+                start, _ = partition.range_of(rank)
+                out[lo:hi] = vector.get_block(rank)[columns[lo:hi] - start]
         # Charge the gather: each surviving sender ships the elements the failed
         # rows reference (the reverse of the SpMV scatter towards the failed rank).
         for dst in failed:
@@ -376,14 +399,15 @@ class ESRReconstructor:
         )
 
 
-def _zero_columns(matrix: sp.csr_matrix, columns: np.ndarray) -> sp.csr_matrix:
-    """Return a copy of *matrix* with the given columns zeroed out."""
-    result = sp.csr_matrix(matrix, copy=True)
-    if result.nnz == 0 or columns.size == 0:
-        return result
-    mask = np.zeros(result.shape[1], dtype=bool)
-    mask[columns] = True
-    drop = mask[result.indices]
-    result.data[drop] = 0.0
-    result.eliminate_zeros()
-    return result
+def _referenced_columns(rows: sp.csr_matrix, failed_indices: np.ndarray,
+                        *, survivors_only: bool = False) -> np.ndarray:
+    """Sorted global column indices with stored entries in *rows*.
+
+    With ``survivors_only`` the (sorted) ``failed_indices`` are excluded, so
+    the result is exactly the compressed index set a reverse scatter has to
+    gather from surviving nodes.
+    """
+    cols = np.unique(rows.indices.astype(np.int64))
+    if not survivors_only or failed_indices.size == 0 or cols.size == 0:
+        return cols
+    return cols[~np.isin(cols, failed_indices)]

@@ -1,8 +1,9 @@
 """Distributed sparse linear algebra on the virtual cluster.
 
 Block-row partitions, distributed vectors and matrices with node-local
-storage, SpMV communication contexts (generalized scatters) and the
-distributed SpMV kernel.
+storage, SpMV communication contexts (generalized scatters), the distributed
+SpMV kernel and its local-view execution engine (compressed ghost columns,
+PETSc-style ``MatMult``; see :mod:`repro.distributed.spmv_engine`).
 """
 
 from .comm_context import CommunicationContext, ScatterEdge
@@ -15,13 +16,16 @@ from .spmv import (
     halo_exchange_cost,
     spmv_compute_cost,
 )
+from .spmv_engine import ContextMismatchError, SpmvEngine
 
 __all__ = [
     "BlockRowPartition",
     "DistributedVector",
     "DistributedMatrix",
     "CommunicationContext",
+    "ContextMismatchError",
     "ScatterEdge",
+    "SpmvEngine",
     "distributed_spmv",
     "ghost_values_for",
     "halo_exchange_cost",

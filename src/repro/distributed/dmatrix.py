@@ -6,6 +6,13 @@ the system matrix and the preconditioner are *static* data (Sec. 1.1.2), each
 row block is additionally deposited in the cluster's reliable storage so that
 replacement nodes can re-retrieve it during reconstruction -- which is charged
 to the recovery phase of the cost model.
+
+The matrix also caches :class:`~repro.distributed.spmv_engine.SpmvEngine`
+instances keyed by communication context (see :meth:`DistributedMatrix.
+spmv_engine`).  Every row-block write bumps ``structure_version`` so cached
+engines are invalidated whenever a block changes -- in particular when
+``restore_block_to_node`` re-installs a block on a replacement node during
+recovery.
 """
 
 from __future__ import annotations
@@ -36,6 +43,14 @@ class DistributedMatrix:
         self.cluster = cluster
         self.partition = partition
         self.name = name
+        #: Bumped on every row-block write; SpMV engines built against an
+        #: older version are discarded (cache invalidation contract).
+        self._structure_version = 0
+        #: ``id(context) -> (context, engine_or_None, version)``.
+        self._spmv_engines: dict = {}
+        #: Cached default scatter plan (see :meth:`default_context`).
+        self._default_context = None
+        self._default_context_version = -1
 
     # -- construction ---------------------------------------------------------
     @classmethod
@@ -78,6 +93,88 @@ class DistributedMatrix:
 
     def _set_row_block(self, rank: int, block: sp.csr_matrix) -> None:
         self.cluster.node(rank).memory[self._key()] = block
+        self._structure_version += 1
+
+    @property
+    def structure_version(self) -> int:
+        """Monotone counter of row-block writes (engine-cache invalidation)."""
+        return self._structure_version
+
+    #: Engines cached per context; solvers hold one long-lived plan, so a
+    #: small bound suffices while preventing unbounded growth when callers
+    #: keep passing fresh context objects.
+    _ENGINE_CACHE_SIZE = 8
+
+    def default_context(self):
+        """Cached scatter plan derived from this matrix's sparsity pattern.
+
+        ``distributed_spmv`` uses this when no context is passed, so repeated
+        default-context calls reuse one plan (and therefore one cached SpMV
+        engine) instead of deriving a fresh plan per call.  Rebuilt when the
+        structure version changes.
+        """
+        if (self._default_context is None
+                or self._default_context_version != self._structure_version):
+            from .comm_context import CommunicationContext
+
+            self._default_context = CommunicationContext.from_matrix(self)
+            self._default_context_version = self._structure_version
+        return self._default_context
+
+    def _cached_engine_entry(self, context):
+        """The live cache entry for *context*, LRU-refreshed, or ``None``."""
+        key = id(context)
+        entry = self._spmv_engines.get(key)
+        if (entry is not None and entry[0] is context
+                and entry[2] == self._structure_version):
+            # LRU refresh so a long-lived hot plan is not evicted by a
+            # stream of short-lived foreign contexts.
+            self._spmv_engines[key] = self._spmv_engines.pop(key)
+            return entry
+        return None
+
+    def cached_spmv_engine(self, context):
+        """The cached engine for *context* without building one.
+
+        Pure cache lookup -- never touches node memories, so callers can use
+        it to pick the cached static charges before any operation that may
+        raise on failed nodes (keeping the charge order identical to the
+        dense-gather reference path).  ``None`` on a cache miss *or* when
+        the cached entry records a context mismatch.
+        """
+        entry = self._cached_engine_entry(context)
+        return entry[1] if entry is not None else None
+
+    def spmv_engine(self, context):
+        """The cached local-view SpMV engine for *context* (or ``None``).
+
+        Engines are cached per context object and invalidated whenever a row
+        block is rewritten (``structure_version`` changes), e.g. by
+        ``restore_block_to_node`` during failure recovery.  Returns ``None``
+        when *context* does not cover the matrix's off-diagonal columns --
+        callers then fall back to the dense-gather reference path, whose
+        numerics never depend on the context.
+        """
+        entry = self._cached_engine_entry(context)
+        if entry is not None:
+            return entry[1]
+        from .spmv_engine import ContextMismatchError, SpmvEngine
+
+        try:
+            engine = SpmvEngine(self, context)
+        except ContextMismatchError:
+            engine = None
+        if len(self._spmv_engines) >= self._ENGINE_CACHE_SIZE:
+            stale = [cached_key for cached_key, cached in
+                     self._spmv_engines.items()
+                     if cached[2] != self._structure_version]
+            for cached_key in stale:
+                del self._spmv_engines[cached_key]
+        while len(self._spmv_engines) >= self._ENGINE_CACHE_SIZE:
+            self._spmv_engines.pop(next(iter(self._spmv_engines)))
+        self._spmv_engines[id(context)] = (context, engine,
+                                           self._structure_version)
+        return engine
 
     # -- block access ------------------------------------------------------------
     def row_block(self, rank: int) -> sp.csr_matrix:

@@ -205,8 +205,18 @@ class DistributedVector:
         )
 
     def norm2(self, *, alive_only: bool = False) -> float:
-        """Euclidean norm (dot with itself, then square root)."""
-        return float(np.sqrt(max(self.dot(self, alive_only=alive_only), 0.0)))
+        """Euclidean norm (dot with itself, then square root).
+
+        A NaN reduction (corrupted or lost data) propagates as NaN so the
+        solver surfaces the failure -- clamping it to ``0.0`` would silently
+        read as "converged".  The explicit check guarantees this regardless
+        of ``max()`` argument-order subtleties with NaN; only tiny negative
+        rounding residue is clamped.
+        """
+        value = self.dot(self, alive_only=alive_only)
+        if np.isnan(value):
+            return float("nan")
+        return float(np.sqrt(max(value, 0.0)))
 
     def local_norm2(self, rank: int) -> float:
         """Norm of a single block (no communication; used in diagnostics)."""

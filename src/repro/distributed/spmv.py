@@ -6,6 +6,18 @@ charged to the latency-bandwidth cost model (Phase ``comm.halo``), the local
 row-block products are charged as memory-bound compute (Phase
 ``compute.spmv``), and the numeric result is stored block-by-block into the
 output vector.
+
+Two numeric execution paths produce bit-identical results and charges:
+
+* the **local-view engine** (default) -- a cached
+  :class:`~repro.distributed.spmv_engine.SpmvEngine` that computes each
+  rank's product as ``A_local @ [x_own | x_ghost]`` with compressed ghost
+  columns and preallocated buffers, ``O(nnz + ghosts)`` per call;
+* the **dense-gather reference** (``engine=False``, or automatic fallback
+  when the context does not match the matrix) -- assembles a fresh global
+  vector and multiplies each rank's full ``(n_i, n)`` row block against it.
+  It is kept as the independent oracle for equivalence tests and the
+  ``bench_spmv_engine`` benchmark.
 """
 
 from __future__ import annotations
@@ -51,7 +63,8 @@ def spmv_compute_cost(matrix: DistributedMatrix, model) -> float:
 def distributed_spmv(matrix: DistributedMatrix, x: DistributedVector,
                      out: DistributedVector,
                      context: Optional[CommunicationContext] = None,
-                     *, charge: bool = True) -> DistributedVector:
+                     *, charge: bool = True,
+                     engine: bool = True) -> DistributedVector:
     """Compute ``out = matrix @ x`` on the virtual cluster.
 
     Parameters
@@ -59,11 +72,16 @@ def distributed_spmv(matrix: DistributedMatrix, x: DistributedVector,
     matrix, x, out:
         Distributed operands sharing one partition and cluster.
     context:
-        The SpMV scatter plan.  If ``None`` it is derived on the fly (more
-        expensive; solvers pass a prebuilt plan).
+        The SpMV scatter plan.  If ``None`` the matrix's cached default plan
+        is used (derived from the sparsity pattern on first use; solvers
+        pass a prebuilt plan).
     charge:
         Charge communication and compute to the cost ledger (solvers always
         do; some verification helpers pass ``False``).
+    engine:
+        Execute through the cached local-view :class:`SpmvEngine` (default).
+        ``False`` forces the dense-gather reference path; the two paths are
+        bit-identical in results and charges.
     """
     partition = matrix.partition
     if not partition.is_compatible_with(x.partition):
@@ -74,30 +92,53 @@ def distributed_spmv(matrix: DistributedMatrix, x: DistributedVector,
     ledger = cluster.ledger
 
     if context is None:
-        context = CommunicationContext.from_matrix(matrix)
+        context = matrix.default_context()
+
+    # Cache lookup only -- the halo charge must land before any node-memory
+    # read that may raise on failed nodes, matching the reference path's
+    # charge order.  A cache miss recomputes the halo cost directly (same
+    # value the engine caches) and builds the engine after the charge.
+    spmv_engine = matrix.cached_spmv_engine(context) if engine else None
 
     if charge:
-        halo_time, n_msg, n_elem = halo_exchange_cost(
-            context, cluster.topology, ledger.model
-        )
+        if spmv_engine is not None:
+            halo_time, n_msg, n_elem = spmv_engine.halo_cost
+        else:
+            halo_time, n_msg, n_elem = halo_exchange_cost(
+                context, cluster.topology, ledger.model
+            )
         ledger.add_time(Phase.HALO_COMM, halo_time)
         ledger.add_traffic(Phase.HALO_COMM, n_msg, n_elem)
 
-    # Numerically, each node multiplies its (n_i x n) row block with the full
-    # input vector; only the ghost elements described by the context would be
-    # communicated on a real machine.  Reading every owner's block here also
-    # enforces the failure semantics: SpMV cannot proceed with a failed owner.
-    x_global = np.empty(partition.n)
-    for rank in range(partition.n_parts):
-        start, stop = partition.range_of(rank)
-        x_global[start:stop] = x.get_block(rank)
+    if engine and spmv_engine is None:
+        # None when the context does not cover the matrix's off-diagonal
+        # columns; the dense-gather path below never depends on the context
+        # numerically.
+        spmv_engine = matrix.spmv_engine(context)
 
-    for rank in range(partition.n_parts):
-        block = matrix.row_block(rank)
-        out.set_block(rank, block @ x_global)
+    if spmv_engine is not None:
+        spmv_engine.apply(x, out)
+    else:
+        # Dense-gather reference: each node multiplies its (n_i x n) row block
+        # with the freshly assembled global vector; only the ghost elements
+        # described by the context would be communicated on a real machine.
+        # Reading every owner's block here also enforces the failure
+        # semantics: SpMV cannot proceed with a failed owner.
+        x_global = np.empty(partition.n)
+        for rank in range(partition.n_parts):
+            start, stop = partition.range_of(rank)
+            x_global[start:stop] = x.get_block(rank)
+
+        for rank in range(partition.n_parts):
+            block = matrix.row_block(rank)
+            out.set_block(rank, block @ x_global)
 
     if charge:
-        ledger.add_time(Phase.SPMV_COMPUTE, spmv_compute_cost(matrix, ledger.model))
+        ledger.add_time(
+            Phase.SPMV_COMPUTE,
+            spmv_engine.compute_cost if spmv_engine is not None
+            else spmv_compute_cost(matrix, ledger.model),
+        )
     return out
 
 

@@ -110,6 +110,20 @@ class TestCostAccounting:
             result.simulated_time, rel=1e-9
         )
 
+    def test_second_solve_reports_only_its_own_phases(self, problem):
+        """The breakdown of a later solve on the same cluster must not carry
+        stale zero-delta phases charged by an earlier solve."""
+        from repro.core.api import resilient_solve
+
+        first = resilient_solve(problem, phi=2, preconditioner="block_jacobi")
+        assert first.time_breakdown.get(Phase.REDUNDANCY_COMM, 0.0) > 0
+        second = reference_solve(problem, preconditioner="block_jacobi")
+        assert Phase.REDUNDANCY_COMM not in second.time_breakdown
+        assert all(value > 0 for value in second.time_breakdown.values())
+        assert sum(second.time_breakdown.values()) == pytest.approx(
+            second.simulated_time, rel=1e-9
+        )
+
     def test_more_nodes_more_collective_cost_per_iteration(self):
         a = poisson_2d(20)
         times = {}

@@ -148,6 +148,43 @@ class TestExactReconstruction:
         assert all(v < 1e-9 for v in diffs.values()), diffs
 
 
+class TestReconstructionFormSelection:
+    def _reconstructor(self, preconditioner, requested_form=None):
+        from repro.core.esr import ESRProtocol
+        from repro.core.reconstruction import ESRReconstructor
+
+        problem = distribute_problem(poisson_2d(12), n_nodes=4, seed=0,
+                                     machine=MachineModel(jitter_rel_std=0.0))
+        precond = make_preconditioner(preconditioner)
+        precond.setup(problem.matrix.to_global(), problem.partition)
+        esr = ESRProtocol(problem.cluster, problem.context, 1)
+        reconstructor = ESRReconstructor(
+            problem.cluster, problem.matrix, problem.rhs, precond,
+            problem.context, esr, reconstruction_form=requested_form,
+        )
+        return reconstructor, precond
+
+    def test_split_form_reduces_to_forward(self):
+        """A preconditioner that only exposes a split factor (M = L L^T) is
+        reconstructed through the forward variant."""
+        reconstructor, precond = self._reconstructor("split_ic0")
+        assert precond.form is PreconditionerForm.SPLIT
+        assert reconstructor.reconstruction_form() is PreconditionerForm.FORWARD
+
+    def test_explicitly_requested_form_is_honoured(self):
+        reconstructor, _ = self._reconstructor(
+            "split_ic0", requested_form=PreconditionerForm.SPLIT
+        )
+        assert reconstructor.reconstruction_form() is PreconditionerForm.SPLIT
+
+    def test_natural_forms_pass_through(self):
+        for name, expected in (("block_jacobi", PreconditionerForm.FORWARD),
+                               ("jacobi", PreconditionerForm.INVERSE),
+                               ("identity", PreconditionerForm.IDENTITY)):
+            reconstructor, _ = self._reconstructor(name)
+            assert reconstructor.reconstruction_form() is expected
+
+
 class TestRecoveryReports:
     def test_report_contents(self):
         result, _, solver = run_with_state_check(

@@ -61,6 +61,20 @@ class TestArithmetic:
         a = DistributedVector.from_global(cluster, partition, "a", np.full(20, 2.0))
         assert a.norm2() == pytest.approx(np.sqrt(80.0))
 
+    def test_norm_propagates_nan(self, setup):
+        """A NaN reduction (corrupted data) must surface as NaN, not read as
+        a converged all-zero vector."""
+        cluster, partition = setup
+        a = DistributedVector.from_global(cluster, partition, "a", np.ones(20))
+        block = a.get_block(1)
+        block[0] = np.nan
+        assert np.isnan(a.norm2())
+
+    def test_norm_of_zero_vector_is_zero(self, setup):
+        cluster, partition = setup
+        a = DistributedVector.zeros(cluster, partition, "a")
+        assert a.norm2() == 0.0
+
     def test_axpy(self, setup):
         cluster, partition = setup
         x = DistributedVector.from_global(cluster, partition, "x", np.arange(20.0))
