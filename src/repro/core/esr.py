@@ -9,6 +9,24 @@ exact state reconstruction (Sec. 2.2).  The *extra* traffic is charged to the
 ``comm.redundancy`` phase of the cost model using the latency-bandwidth
 analysis of Sec. 4.2 (piggybacked extras pay no latency).
 
+**Fused staging.**  The per-iteration snapshot is executed through a
+precomputed :class:`FusedStagingIndex`: the ``(owner, holder)`` held pattern
+of the :class:`~repro.core.redundancy.RedundancyScheme` is translated once
+into positions inside a staging buffer whose first section mirrors the SpMV
+engine's send pool (layout derived from the same
+:class:`CommunicationContext`) and whose tail holds the few pattern elements
+the SpMV never ships (the non-piggybacked parts of ``R^c_ik``).  When the
+solver's matrix holds a cached
+:class:`~repro.distributed.spmv_engine.SpmvEngine`, the pool section is one
+``memcpy`` of values the engine already staged for the SpMV of the same
+iteration; otherwise it is re-staged with one fancy-index per owner.  Each
+holder's copies then come out of a single vectorized gather and are stored as
+slices -- no Python loop over the ``O(N^2)`` ``(owner, holder)`` pairs, and
+the stored values are byte-identical to the former per-pair gathers.
+Failures are handled exactly as before: a dead holder stores nothing, and a
+failed owner's pairs are skipped for the iteration (the rare case falls back
+to per-pair gathers of the surviving owners).
+
 After node failures, :meth:`recover_block` re-assembles a failed node's block
 of either generation from the copies on surviving nodes, charging the reverse
 communication to the recovery phase; :meth:`recover_replicated_scalar` fetches
@@ -18,7 +36,7 @@ replicated scalars (``beta^(j-1)``) from any survivor.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -36,6 +54,164 @@ _ESR_KEY = "esr_store"
 _SCALAR_KEY = "esr_scalars"
 
 
+class FusedStagingIndex:
+    """Precomputed ``(owner, holder) -> staging-buffer slice`` tables.
+
+    Built once from a :class:`RedundancyScheme` (whose held pattern and
+    context are immutable): the staging buffer is ``[send pool | extras]``
+    where the send-pool section replicates the SpMV engine's layout (per
+    owner, the sorted locally-owned indices it sends to at least one other
+    node) and the extras section holds the pattern elements no SpMV message
+    carries.  Per holder, one precomputed gather index array pulls all its
+    copies out of the buffer; per ``(owner, holder)`` pair the copies are a
+    contiguous ``[lo, hi)`` slice of that gather.
+    """
+
+    def __init__(self, scheme: RedundancyScheme,
+                 pattern_local: Dict[Tuple[int, int], np.ndarray]):
+        context = scheme.context
+        partition = scheme.partition
+        n_parts = partition.n_parts
+        self._context = context
+        self._n_parts = n_parts
+        #: Nothing to stage at all (no pattern entries, e.g. a single-node
+        #: run): lets the per-iteration path skip staging entirely, matching
+        #: the former loop-over-nothing no-op.
+        self.is_empty = not pattern_local
+
+        # -- send-pool layout: the context's canonical helper, i.e. the
+        #    exact layout the SpMV engine stages its pool with.
+        sent_global, pool_offsets = context.send_pool_layout()
+        self._sent_local: List[np.ndarray] = [
+            sent_global[owner] - partition.range_of(owner)[0]
+            for owner in range(n_parts)
+        ]
+        self._pool_offsets = pool_offsets
+        self.pool_size = int(pool_offsets[-1])
+
+        # -- extras: pattern elements the SpMV send pool does not carry ----
+        per_owner: Dict[int, List[np.ndarray]] = {}
+        for (owner, _holder), local_idx in pattern_local.items():
+            per_owner.setdefault(owner, []).append(local_idx)
+        self._extra_local: List[np.ndarray] = []
+        extra_offsets = np.zeros(n_parts + 1, dtype=np.int64)
+        for owner in range(n_parts):
+            chunks = per_owner.get(owner)
+            needed = (np.unique(np.concatenate(chunks)) if chunks
+                      else np.empty(0, dtype=np.int64))
+            extra = needed[~self._in_sent(owner, needed)]
+            self._extra_local.append(extra)
+            extra_offsets[owner + 1] = extra_offsets[owner] + extra.size
+        self._extra_offsets = extra_offsets
+        self.extras_size = int(extra_offsets[-1])
+        self._buffer = np.empty(self.pool_size + self.extras_size)
+
+        # -- per-holder gather tables (deterministic pair order) -----------
+        self._holder_gather: Dict[int, np.ndarray] = {}
+        #: holder -> [(owner, lo, hi)] slices of the holder's gather result.
+        self._holder_slices: Dict[int, List[Tuple[int, int, int]]] = {}
+        grouped: Dict[int, List[np.ndarray]] = {}
+        for (owner, holder), local_idx in sorted(pattern_local.items()):
+            sent = self._sent_local[owner]
+            in_pool = self._in_sent(owner, local_idx)
+            pos = np.empty(local_idx.size, dtype=np.int64)
+            pos[in_pool] = pool_offsets[owner] + np.searchsorted(
+                sent, local_idx[in_pool]
+            )
+            pos[~in_pool] = self.pool_size + extra_offsets[owner] + \
+                np.searchsorted(self._extra_local[owner],
+                                local_idx[~in_pool])
+            chunks = grouped.setdefault(holder, [])
+            lo = int(sum(c.size for c in chunks))
+            chunks.append(pos)
+            self._holder_slices.setdefault(holder, []).append(
+                (owner, lo, lo + int(local_idx.size))
+            )
+        for holder, chunks in grouped.items():
+            self._holder_gather[holder] = np.concatenate(chunks)
+
+    def _in_sent(self, owner: int, local_idx: np.ndarray) -> np.ndarray:
+        """Mask over sorted *local_idx*: which entries the send pool carries."""
+        sent = self._sent_local[owner]
+        if sent.size == 0 or local_idx.size == 0:
+            return np.zeros(local_idx.size, dtype=bool)
+        ins = np.searchsorted(sent, local_idx)
+        found = ins < sent.size
+        found[found] = sent[ins[found]] == local_idx[found]
+        return found
+
+    # -- per-iteration execution -------------------------------------------
+    def stage(self, p: DistributedVector, engine) -> Set[int]:
+        """Fill the staging buffer from *p*; returns the failed owner ranks.
+
+        When *engine* is a live SpMV engine built from the same context, its
+        send pool -- staged from *p* by the SpMV that immediately precedes
+        ``after_spmv`` -- is copied wholesale and only the extras are
+        gathered; otherwise both sections are staged with one fancy-index
+        per owner.  Every owner's block is read through the node memory
+        regardless, so failed owners are detected exactly as the former
+        per-pair gathers did.
+        """
+        buf = self._buffer
+        reuse = (
+            engine is not None
+            and engine.context is self._context
+            and engine.send_pool.size == self.pool_size
+            and engine.pool_staged_from(p)
+        )
+        if reuse:
+            buf[:self.pool_size] = engine.send_pool
+        failed: Set[int] = set()
+        pool_offsets = self._pool_offsets
+        extra_offsets = self._extra_offsets
+        for owner in range(self._n_parts):
+            try:
+                block = p.get_block(owner)
+            except NodeFailedError:
+                # The owner itself is failed; its block will be reconstructed
+                # before the solver continues, nothing to store now.
+                failed.add(owner)
+                continue
+            if not reuse:
+                sent = self._sent_local[owner]
+                if sent.size:
+                    buf[pool_offsets[owner]:pool_offsets[owner + 1]] = \
+                        block[sent]
+            extra = self._extra_local[owner]
+            if extra.size:
+                lo = self.pool_size + extra_offsets[owner]
+                buf[lo:lo + extra.size] = block[extra]
+        return failed
+
+    def distribute(self, cluster: VirtualCluster, slot: int,
+                   failed: Set[int]) -> None:
+        """Store every alive holder's copies under ``(_ESR_KEY, slot, owner)``.
+
+        The failure-free path is one vectorized gather per holder plus slice
+        views; with failed owners the surviving pairs are gathered
+        individually (copies of failed owners keep whatever the slot held
+        before, matching the former per-pair behaviour).
+        """
+        buf = self._buffer
+        for holder, gather in self._holder_gather.items():
+            node = cluster.node(holder)
+            if not node.is_alive:
+                # A failed holder simply stores nothing; the invariant still
+                # guarantees enough surviving copies as long as the total
+                # number of failures stays within phi.
+                continue
+            slices = self._holder_slices[holder]
+            if not failed:
+                values = buf[gather]
+                for owner, lo, hi in slices:
+                    node.memory[(_ESR_KEY, slot, owner)] = values[lo:hi]
+            else:
+                for owner, lo, hi in slices:
+                    if owner in failed:
+                        continue
+                    node.memory[(_ESR_KEY, slot, owner)] = buf[gather[lo:hi]]
+
+
 @dataclass
 class GenerationInfo:
     """Which solver iteration a storage generation (parity slot) holds."""
@@ -48,7 +224,8 @@ class ESRProtocol:
 
     def __init__(self, cluster: VirtualCluster, context: CommunicationContext,
                  phi: int, *, placement: BackupPlacement = BackupPlacement.PAPER,
-                 scheme: Optional[RedundancyScheme] = None):
+                 scheme: Optional[RedundancyScheme] = None,
+                 matrix=None):
         self.cluster = cluster
         self.context = context
         self.partition: BlockRowPartition = context.partition
@@ -61,6 +238,11 @@ class ESRProtocol:
                 f"redundancy scheme phi={self.scheme.phi} does not match "
                 f"protocol phi={self.phi}"
             )
+        #: Optional :class:`~repro.distributed.dmatrix.DistributedMatrix`
+        #: whose cached SpMV engine (for this context) staged the send pool
+        #: during the SpMV that precedes each ``after_spmv`` call; when set,
+        #: the fused staging reuses those pool values instead of re-gathering.
+        self._matrix = matrix
         #: (owner, holder) -> global indices the holder stores each iteration.
         self._pattern = self.scheme.held_pattern()
         #: Precomputed local (owner-block) offsets per pattern entry.
@@ -68,6 +250,8 @@ class ESRProtocol:
         for (owner, holder), idx in self._pattern.items():
             start, _ = self.partition.range_of(owner)
             self._pattern_local[(owner, holder)] = idx - start
+        #: Fused per-iteration staging tables (pattern and context are static).
+        self._staging = FusedStagingIndex(self.scheme, self._pattern_local)
         #: Iteration number stored in each of the two generation slots.
         self._generations: Dict[int, GenerationInfo] = {
             0: GenerationInfo(), 1: GenerationInfo()
@@ -86,27 +270,19 @@ class ESRProtocol:
         """Record redundant copies of ``p^(iteration)`` on all holder nodes.
 
         Must be called right after the SpMV of the given iteration (when the
-        halo values have just been communicated anyway).  Charges only the
+        halo values have just been communicated anyway) -- the fused staging
+        relies on this to reuse the SpMV engine's already-staged send pool
+        when one is cached on the protocol's matrix.  Charges only the
         *extra* redundancy traffic; the natural halo traffic was already
         charged by the SpMV itself.
         """
         slot = self._slot_for(iteration)
         self._generations[slot] = GenerationInfo(iteration=iteration)
-        for (owner, holder), local_idx in self._pattern_local.items():
-            holder_node = self.cluster.node(holder)
-            if not holder_node.is_alive:
-                # A failed holder simply stores nothing; the invariant still
-                # guarantees enough surviving copies as long as the total
-                # number of failures stays within phi.
-                continue
-            try:
-                values = p.get_block(owner)[local_idx]
-            except NodeFailedError:
-                # The owner itself is failed; its block will be reconstructed
-                # before the solver continues, nothing to store now.
-                continue
-            key = (_ESR_KEY, slot, owner)
-            holder_node.memory[key] = values.copy()
+        if not self._staging.is_empty:
+            engine = (self._matrix.cached_spmv_engine(self.context)
+                      if self._matrix is not None else None)
+            failed = self._staging.stage(p, engine)
+            self._staging.distribute(self.cluster, slot, failed)
         # Charge the extra redundancy communication of this iteration.
         if self.phi > 0 and self._overhead_time > 0.0:
             self.cluster.ledger.add_time(Phase.REDUNDANCY_COMM, self._overhead_time)

@@ -65,9 +65,16 @@ class DistributedPCG:
                  preconditioner: Optional[Preconditioner] = None, *,
                  rtol: float = 1e-8, atol: float = 0.0,
                  max_iterations: Optional[int] = None,
-                 context: Optional[CommunicationContext] = None):
+                 context: Optional[CommunicationContext] = None,
+                 overlap_spmv: bool = False):
         self.matrix = matrix
         self.rhs = rhs
+        #: Execute SpMVs split-phase (halo exchange overlapped with the
+        #: diagonal-block product) and charge the overlap-aware cost.  Off by
+        #: default: the serialized path is bit-identical to the dense-gather
+        #: reference, while split execution rounds like PETSc's overlapped
+        #: MatMult (last-bits differences; see repro.distributed.spmv_engine).
+        self.overlap_spmv = bool(overlap_spmv)
         self.cluster: VirtualCluster = matrix.cluster
         self.partition: BlockRowPartition = matrix.partition
         if not self.partition.is_compatible_with(rhs.partition):
@@ -130,16 +137,21 @@ class DistributedPCG:
 
     def _apply_preconditioner(self, residual: DistributedVector,
                               out: DistributedVector) -> DistributedVector:
-        """Block-local application of the preconditioner, charged to the ledger."""
+        """Block-local application of the preconditioner, charged to the ledger.
+
+        The bulk-synchronous charge is set by the worst rank's block work,
+        which is static across iterations -- it comes from the cached
+        :meth:`Preconditioner.max_block_work_nnz` instead of a per-rank
+        Python ``max`` loop on every application.
+        """
         model = self.cluster.ledger.model
-        worst = 0.0
         for rank in range(self.partition.n_parts):
             block = self.preconditioner.apply_block(rank, residual.get_block(rank))
             out.set_block(rank, block)
-            worst = max(
-                worst, model.precond_apply_time(self.preconditioner.block_work_nnz(rank))
-            )
-        self.cluster.ledger.add_time(Phase.PRECOND_COMPUTE, worst)
+        self.cluster.ledger.add_time(
+            Phase.PRECOND_COMPUTE,
+            model.precond_apply_time(self.preconditioner.max_block_work_nnz()),
+        )
         return out
 
     def _initial_guess_vector(self, x0) -> DistributedVector:
@@ -158,9 +170,11 @@ class DistributedPCG:
         Executes through the local-view SpMV engine cached on the matrix for
         the solver's prebuilt context (``O(nnz + ghosts)`` per call); the
         cache is invalidated automatically when recovery restores matrix
-        blocks on replacement nodes.
+        blocks on replacement nodes.  With ``overlap_spmv`` the execution is
+        split-phase and the overlap-aware cost is charged.
         """
-        distributed_spmv(self.matrix, self.p, self.ap, self.context)
+        distributed_spmv(self.matrix, self.p, self.ap, self.context,
+                         overlap=self.overlap_spmv)
 
     # -- main loop ----------------------------------------------------------------------
     def solve(self, x0: Union[None, np.ndarray, DistributedVector] = None
@@ -176,7 +190,8 @@ class DistributedPCG:
         self.ap = self._vec("ap")
 
         # r(0) = b - A x(0)
-        distributed_spmv(self.matrix, self.x, self.ap, self.context)
+        distributed_spmv(self.matrix, self.x, self.ap, self.context,
+                         overlap=self.overlap_spmv)
         self.r.assign(self.rhs)
         self.r.axpy(-1.0, self.ap)
         # z(0) = M^{-1} r(0); p(0) = z(0)
@@ -268,6 +283,7 @@ class DistributedPCG:
                 "rtol": self.rtol,
                 "preconditioner": self.preconditioner.name,
                 "n_nodes": self.partition.n_parts,
+                "overlap_spmv": self.overlap_spmv,
             },
             simulated_time=total,
             simulated_iteration_time=iteration_time,

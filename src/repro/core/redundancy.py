@@ -137,6 +137,19 @@ class RedundancyScheme:
         self._owners: Dict[int, OwnerRedundancy] = {}
         for owner in range(n_nodes):
             self._owners[owner] = self._compute_owner(owner)
+        # The held pattern and the per-owner copy counts are immutable after
+        # construction; memoize them so per-iteration consumers (the ESR
+        # protocol) and the property-test invariant check pay O(pattern)
+        # once instead of O(N * pattern) per query.
+        self._held_pattern = self._compute_held_pattern()
+        self._copy_counts: Dict[int, np.ndarray] = {
+            owner: np.zeros(self.partition.size_of(owner), dtype=np.int64)
+            for owner in self._owners
+        }
+        for (owner, _holder), idx in self._held_pattern.items():
+            if idx.size:
+                start, _ = self.partition.range_of(owner)
+                self._copy_counts[owner][idx - start] += 1
 
     # -- per-owner computation -------------------------------------------------
     def _compute_owner(self, owner: int) -> OwnerRedundancy:
@@ -215,7 +228,13 @@ class RedundancyScheme:
         (``S_ik``) and the extras it receives as a designated backup
         (``R^c_ik``).  The ESR protocol snapshots exactly these values for the
         two most recent search directions.
+
+        The pattern is immutable after ``__init__`` and memoized; callers get
+        a fresh dict whose index arrays are shared and must not be mutated.
         """
+        return dict(self._held_pattern)
+
+    def _compute_held_pattern(self) -> Dict[Tuple[int, int], np.ndarray]:
         pattern: Dict[Tuple[int, int], np.ndarray] = {}
         for owner, info in self._owners.items():
             # natural receivers
@@ -237,15 +256,11 @@ class RedundancyScheme:
         """Number of distinct non-owner nodes holding each element of *owner*.
 
         This is the quantity the redundancy invariant bounds from below by
-        ``phi``; it is exercised directly by the property tests.
+        ``phi``; it is exercised directly by the property tests.  The counts
+        are precomputed in one pass over the (immutable) held pattern, so
+        each call is ``O(n_owner)`` instead of ``O(N * pattern)``.
         """
-        start, _ = self.partition.range_of(owner)
-        size = self.partition.size_of(owner)
-        counts = np.zeros(size, dtype=np.int64)
-        for (own, _holder), idx in self.held_pattern().items():
-            if own == owner and idx.size:
-                counts[idx - start] += 1
-        return counts
+        return self._copy_counts[owner].copy()
 
     def verify_invariant(self) -> bool:
         """True if every element has at least ``phi`` off-node copies."""

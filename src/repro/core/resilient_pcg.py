@@ -71,9 +71,11 @@ class ResilientPCG(DistributedPCG):
                  reconstruction_form: Optional[PreconditionerForm] = None,
                  rtol: float = 1e-8, atol: float = 0.0,
                  max_iterations: Optional[int] = None,
-                 context: Optional[CommunicationContext] = None):
+                 context: Optional[CommunicationContext] = None,
+                 overlap_spmv: bool = False):
         super().__init__(matrix, rhs, preconditioner, rtol=rtol, atol=atol,
-                         max_iterations=max_iterations, context=context)
+                         max_iterations=max_iterations, context=context,
+                         overlap_spmv=overlap_spmv)
         if phi < 0:
             raise ValueError(f"phi must be non-negative, got {phi}")
         if failure_injector is not None:
@@ -87,8 +89,12 @@ class ResilientPCG(DistributedPCG):
         self.phi = int(phi)
         self.placement = placement
         self.scheme = RedundancyScheme(self.context, self.phi, placement=placement)
+        # Handing the matrix to the protocol lets the fused redundancy
+        # staging reuse the SpMV engine's already-staged send pool each
+        # iteration instead of re-gathering the natural halo values.
         self.esr = ESRProtocol(self.cluster, self.context, self.phi,
-                               placement=placement, scheme=self.scheme)
+                               placement=placement, scheme=self.scheme,
+                               matrix=self.matrix)
         self.reconstructor = ESRReconstructor(
             self.cluster, self.matrix, self.rhs, self.preconditioner,
             self.context, self.esr,

@@ -1,32 +1,38 @@
 """Distributed sparse linear algebra on the virtual cluster.
 
-Block-row partitions, distributed vectors and matrices with node-local
-storage, SpMV communication contexts (generalized scatters), the distributed
-SpMV kernel and its local-view execution engine (compressed ghost columns,
-PETSc-style ``MatMult``; see :mod:`repro.distributed.spmv_engine`).
+Block-row partitions, distributed vectors / multi-vectors and matrices with
+node-local storage, SpMV communication contexts (generalized scatters), the
+distributed SpMV kernel and its local-view execution engine (compressed ghost
+columns, split-phase comm/compute overlap, batched multi-RHS kernels;
+PETSc-style ``MatMult`` -- see :mod:`repro.distributed.spmv_engine`).
 """
 
 from .comm_context import CommunicationContext, ScatterEdge
 from .dmatrix import DistributedMatrix
+from .dmultivector import DistributedMultiVector
 from .dvector import DistributedVector, swap_names
 from .partition import BlockRowPartition
 from .spmv import (
     distributed_spmv,
+    distributed_spmv_block,
     ghost_values_for,
     halo_exchange_cost,
     spmv_compute_cost,
 )
-from .spmv_engine import ContextMismatchError, SpmvEngine
+from .spmv_engine import ContextMismatchError, OverlapCharge, SpmvEngine
 
 __all__ = [
     "BlockRowPartition",
     "DistributedVector",
     "DistributedMatrix",
+    "DistributedMultiVector",
     "CommunicationContext",
     "ContextMismatchError",
+    "OverlapCharge",
     "ScatterEdge",
     "SpmvEngine",
     "distributed_spmv",
+    "distributed_spmv_block",
     "ghost_values_for",
     "halo_exchange_cost",
     "spmv_compute_cost",

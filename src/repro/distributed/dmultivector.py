@@ -1,0 +1,134 @@
+"""Distributed multi-vectors (blocks of ``k`` right-hand sides).
+
+A :class:`DistributedMultiVector` is the thin multi-RHS counterpart of
+:class:`~repro.distributed.dvector.DistributedVector`: each node stores one
+``(n_i, k)`` NumPy block of a global ``(n, k)`` dense matrix in its private
+memory.  Block-Krylov and multi-RHS workloads use it with the batched
+``Y = A X`` kernel of the SpMV engine
+(:meth:`~repro.distributed.spmv_engine.SpmvEngine.apply_block`), which
+amortizes the ghost gather and the per-rank Python dispatch over all ``k``
+columns.
+
+The wrapper deliberately stays thin -- block access, (de)assembly, and the
+column views the equivalence tests need.  BLAS-1 style arithmetic lives on
+:class:`DistributedVector`; lifting it to blocks is future work (see the
+ROADMAP's block-Krylov item).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..cluster.cluster import VirtualCluster
+from ..cluster.errors import NodeFailedError
+from .partition import BlockRowPartition
+
+#: Memory key prefix under which multi-vector blocks are stored on each node.
+_MVEC_KEY = "mvec"
+
+
+class DistributedMultiVector:
+    """A block-row distributed ``(n, k)`` dense matrix of ``k`` vectors."""
+
+    def __init__(self, cluster: VirtualCluster, partition: BlockRowPartition,
+                 name: str, n_cols: int):
+        if partition.n_parts != cluster.n_nodes:
+            raise ValueError(
+                f"partition has {partition.n_parts} parts but cluster has "
+                f"{cluster.n_nodes} nodes"
+            )
+        if n_cols < 1:
+            raise ValueError(f"n_cols must be positive, got {n_cols}")
+        self.cluster = cluster
+        self.partition = partition
+        self.name = name
+        self.n_cols = int(n_cols)
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def zeros(cls, cluster: VirtualCluster, partition: BlockRowPartition,
+              name: str, n_cols: int) -> "DistributedMultiVector":
+        """Create a distributed multi-vector of zeros."""
+        mvec = cls(cluster, partition, name, n_cols)
+        for rank in range(partition.n_parts):
+            mvec.set_block(rank, np.zeros((partition.size_of(rank), n_cols)))
+        return mvec
+
+    @classmethod
+    def from_global(cls, cluster: VirtualCluster, partition: BlockRowPartition,
+                    name: str, values: np.ndarray) -> "DistributedMultiVector":
+        """Distribute a global ``(n, k)`` array (setup phase, not charged)."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 2 or values.shape[0] != partition.n:
+            raise ValueError(
+                f"expected a ({partition.n}, k) array, got shape {values.shape}"
+            )
+        mvec = cls(cluster, partition, name, values.shape[1])
+        for rank in range(partition.n_parts):
+            start, stop = partition.range_of(rank)
+            mvec.set_block(rank, values[start:stop].copy())
+        return mvec
+
+    # -- block access -------------------------------------------------------
+    def _key(self) -> tuple:
+        return (_MVEC_KEY, self.name)
+
+    def get_block(self, rank: int) -> np.ndarray:
+        """``(n_i, k)`` block of *rank*; raises ``NodeFailedError`` if failed."""
+        return self.cluster.node(rank).memory[self._key()]
+
+    def set_block(self, rank: int, values: np.ndarray) -> None:
+        """Overwrite the block owned by *rank*."""
+        values = np.asarray(values, dtype=np.float64)
+        expected = (self.partition.size_of(rank), self.n_cols)
+        if values.shape != expected:
+            raise ValueError(
+                f"block for rank {rank} must have shape {expected}, "
+                f"got {values.shape}"
+            )
+        self.cluster.node(rank).memory[self._key()] = values
+
+    # -- assembly / views ---------------------------------------------------
+    def to_global(self, *, allow_missing: bool = False,
+                  fill_value: float = np.nan) -> np.ndarray:
+        """Assemble the global ``(n, k)`` array on the driver (not charged)."""
+        out = np.full((self.partition.n, self.n_cols), fill_value,
+                      dtype=np.float64)
+        for rank in range(self.partition.n_parts):
+            start, stop = self.partition.range_of(rank)
+            try:
+                out[start:stop] = self.get_block(rank)
+            except (NodeFailedError, KeyError):
+                if not allow_missing:
+                    raise
+        return out
+
+    def column(self, j: int) -> np.ndarray:
+        """Global column *j* assembled on the driver (verification helper)."""
+        if not 0 <= j < self.n_cols:
+            raise IndexError(f"column {j} out of range for k={self.n_cols}")
+        return self.to_global()[:, j]
+
+    def available_ranks(self) -> List[int]:
+        """Ranks whose block is currently readable."""
+        out = []
+        for rank in range(self.partition.n_parts):
+            node = self.cluster.node(rank)
+            if node.is_alive and self._key() in node.memory:
+                out.append(rank)
+        return out
+
+    def delete(self) -> None:
+        """Remove this multi-vector's blocks from all alive nodes."""
+        for rank in range(self.partition.n_parts):
+            node = self.cluster.node(rank)
+            if node.is_alive and self._key() in node.memory:
+                del node.memory[self._key()]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"DistributedMultiVector(name={self.name!r}, n={self.partition.n}, "
+            f"k={self.n_cols}, N={self.partition.n_parts})"
+        )

@@ -5,7 +5,11 @@ and vector: the halo exchange defined by the :class:`CommunicationContext` is
 charged to the latency-bandwidth cost model (Phase ``comm.halo``), the local
 row-block products are charged as memory-bound compute (Phase
 ``compute.spmv``), and the numeric result is stored block-by-block into the
-output vector.
+output vector.  ``distributed_spmv_block`` is the batched multi-RHS variant
+``Y = A X`` for :class:`~repro.distributed.dmultivector.
+DistributedMultiVector` operands: one halo exchange ships all ``k`` columns
+(same message count, ``k``-fold volume) and each rank runs a single
+CSR x dense-block kernel.
 
 Two numeric execution paths produce bit-identical results and charges:
 
@@ -18,6 +22,14 @@ Two numeric execution paths produce bit-identical results and charges:
   vector and multiplies each rank's full ``(n_i, n)`` row block against it.
   It is kept as the independent oracle for equivalence tests and the
   ``bench_spmv_engine`` benchmark.
+
+With ``overlap=True`` (and an engine), the SpMV executes split-phase --
+``A_diag @ x_own`` while the ghosts are in flight, then the off-diagonal
+accumulation -- and the ledger is charged the overlap-aware
+``max_i(max(halo_i, diag_i) + offdiag_i)`` instead of the serialized
+``halo + compute``.  See :mod:`repro.distributed.spmv_engine` for the
+execution model and the (last-bits) rounding caveat of split execution;
+``overlap=False`` reproduces the serialized charges bit-for-bit.
 """
 
 from __future__ import annotations
@@ -29,42 +41,147 @@ import numpy as np
 from ..cluster.cost_model import Phase
 from .comm_context import CommunicationContext
 from .dmatrix import DistributedMatrix
+from .dmultivector import DistributedMultiVector
 from .dvector import DistributedVector
 
 
-def halo_exchange_cost(context: CommunicationContext, topology, model
-                       ) -> Tuple[float, int, int]:
-    """Bulk-synchronous cost of one halo exchange.
+def halo_exchange_cost(context: CommunicationContext, topology, model,
+                       n_rhs: int = 1) -> Tuple[float, int, int]:
+    """Bulk-synchronous cost of one halo exchange of *n_rhs* columns.
 
     Returns ``(time, n_messages, n_elements)`` where *time* is the maximum
     over receiving nodes of the summed cost of their incoming messages (each
-    ``lambda_ik + |S_ik| * mu``), matching the model of Sec. 4.2.
+    ``lambda_ik + |S_ik| * n_rhs * mu``), matching the model of Sec. 4.2.
+    Batched multi-RHS exchanges (``n_rhs > 1``) ship all columns of an edge
+    in one message: the message count is unchanged, the volume scales.
     """
     per_receiver: Dict[int, float] = {}
     n_messages = 0
     n_elements = 0
     for edge in context.edges():
-        cost = model.message_time(topology.latency(edge.src, edge.dst), edge.count)
+        cost = model.message_time(
+            topology.latency(edge.src, edge.dst), edge.count * n_rhs
+        )
         per_receiver[edge.dst] = per_receiver.get(edge.dst, 0.0) + cost
         n_messages += 1
-        n_elements += edge.count
+        n_elements += edge.count * n_rhs
     max_time = max(per_receiver.values()) if per_receiver else 0.0
     return max_time, n_messages, n_elements
 
 
-def spmv_compute_cost(matrix: DistributedMatrix, model) -> float:
+def spmv_compute_cost(matrix: DistributedMatrix, model,
+                      n_rhs: int = 1) -> float:
     """Bulk-synchronous compute cost of the local row-block products."""
     return max(
-        model.spmv_time(matrix.nnz_of(rank))
+        model.spmv_time(matrix.nnz_of(rank) * n_rhs)
         for rank in range(matrix.partition.n_parts)
     )
+
+
+def _check_operands(matrix: DistributedMatrix, x, out) -> None:
+    partition = matrix.partition
+    if not partition.is_compatible_with(x.partition):
+        raise ValueError("matrix and input vector have incompatible partitions")
+    if not partition.is_compatible_with(out.partition):
+        raise ValueError("matrix and output vector have incompatible partitions")
+
+
+def _dispatch_spmv(matrix: DistributedMatrix, x, out,
+                   context: Optional[CommunicationContext],
+                   *, charge: bool, engine: bool, overlap: bool,
+                   n_rhs: int, block: bool):
+    """Shared dispatch of single-vector and batched SpMV.
+
+    One implementation carries the load-bearing invariants for both entry
+    points: the halo charge must land *before* any node-memory read that may
+    raise on failed nodes (matching the dense-gather reference's charge
+    order on the serialized path), and the overlap branch falls through to
+    the serialized path when the context does not match the matrix.
+    """
+    cluster = matrix.cluster
+    ledger = cluster.ledger
+
+    if context is None:
+        context = matrix.default_context()
+
+    if overlap and engine:
+        # The overlap charge needs the engine's diag/offdiag split, so the
+        # engine is built (node memories touched) before anything is
+        # charged; serialized charge-order equivalence only holds for
+        # overlap=False.
+        spmv_engine = matrix.spmv_engine(context)
+        if spmv_engine is not None:
+            if charge:
+                ch = spmv_engine.overlap_charge(n_rhs)
+                ledger.add_overlapped(Phase.HALO_COMM, Phase.SPMV_COMPUTE,
+                                      ch.compute_time, ch.total_time)
+                ledger.add_traffic(Phase.HALO_COMM, ch.n_messages,
+                                   ch.n_elements)
+            if block:
+                spmv_engine.apply_block(x, out, split=True)
+            else:
+                spmv_engine.apply_split(x, out)
+            return out
+        # Mismatched context: fall through to the serialized reference path.
+
+    # Cache lookup only -- the halo charge must land before any node-memory
+    # read that may raise on failed nodes.  A cache miss recomputes the halo
+    # cost directly (same value the engine caches) and builds the engine
+    # after the charge.
+    spmv_engine = matrix.cached_spmv_engine(context) if engine else None
+
+    if charge:
+        if spmv_engine is not None:
+            halo_time, n_msg, n_elem = spmv_engine.halo_cost_for(n_rhs)
+        else:
+            halo_time, n_msg, n_elem = halo_exchange_cost(
+                context, cluster.topology, ledger.model, n_rhs=n_rhs
+            )
+        ledger.add_time(Phase.HALO_COMM, halo_time)
+        ledger.add_traffic(Phase.HALO_COMM, n_msg, n_elem)
+
+    if engine and spmv_engine is None:
+        # None when the context does not cover the matrix's off-diagonal
+        # columns; the dense-gather path below never depends on the context
+        # numerically.
+        spmv_engine = matrix.spmv_engine(context)
+
+    if spmv_engine is not None:
+        if block:
+            spmv_engine.apply_block(x, out)
+        else:
+            spmv_engine.apply(x, out)
+    else:
+        # Dense-gather reference: each node multiplies its (n_i x n) row
+        # block with the freshly assembled global operand; only the ghost
+        # elements described by the context would be communicated on a real
+        # machine.  Reading every owner's block here also enforces the
+        # failure semantics: SpMV cannot proceed with a failed owner.
+        partition = matrix.partition
+        shape = (partition.n, n_rhs) if block else (partition.n,)
+        x_global = np.empty(shape)
+        for rank in range(partition.n_parts):
+            start, stop = partition.range_of(rank)
+            x_global[start:stop] = x.get_block(rank)
+        for rank in range(partition.n_parts):
+            row_block = matrix.row_block(rank)
+            out.set_block(rank, row_block @ x_global)
+
+    if charge:
+        ledger.add_time(
+            Phase.SPMV_COMPUTE,
+            spmv_engine.compute_cost_for(n_rhs) if spmv_engine is not None
+            else spmv_compute_cost(matrix, ledger.model, n_rhs=n_rhs),
+        )
+    return out
 
 
 def distributed_spmv(matrix: DistributedMatrix, x: DistributedVector,
                      out: DistributedVector,
                      context: Optional[CommunicationContext] = None,
                      *, charge: bool = True,
-                     engine: bool = True) -> DistributedVector:
+                     engine: bool = True,
+                     overlap: bool = False) -> DistributedVector:
     """Compute ``out = matrix @ x`` on the virtual cluster.
 
     Parameters
@@ -82,74 +199,65 @@ def distributed_spmv(matrix: DistributedMatrix, x: DistributedVector,
         Execute through the cached local-view :class:`SpmvEngine` (default).
         ``False`` forces the dense-gather reference path; the two paths are
         bit-identical in results and charges.
+    overlap:
+        Execute split-phase (diagonal compute overlapped with the halo
+        exchange) and charge the overlap-aware cost.  Requires the engine;
+        when the engine is unavailable (``engine=False`` or a mismatched
+        context) the serialized path runs instead.  Split execution rounds
+        like PETSc's overlapped ``MatMult`` -- results can differ from the
+        fused kernel in the last bits (see ``spmv_engine``).
     """
-    partition = matrix.partition
-    if not partition.is_compatible_with(x.partition):
-        raise ValueError("matrix and input vector have incompatible partitions")
-    if not partition.is_compatible_with(out.partition):
-        raise ValueError("matrix and output vector have incompatible partitions")
-    cluster = matrix.cluster
-    ledger = cluster.ledger
+    _check_operands(matrix, x, out)
+    return _dispatch_spmv(matrix, x, out, context, charge=charge,
+                          engine=engine, overlap=overlap, n_rhs=1,
+                          block=False)
 
-    if context is None:
-        context = matrix.default_context()
 
-    # Cache lookup only -- the halo charge must land before any node-memory
-    # read that may raise on failed nodes, matching the reference path's
-    # charge order.  A cache miss recomputes the halo cost directly (same
-    # value the engine caches) and builds the engine after the charge.
-    spmv_engine = matrix.cached_spmv_engine(context) if engine else None
+def distributed_spmv_block(matrix: DistributedMatrix,
+                           x: DistributedMultiVector,
+                           out: DistributedMultiVector,
+                           context: Optional[CommunicationContext] = None,
+                           *, charge: bool = True,
+                           engine: bool = True,
+                           overlap: bool = False) -> DistributedMultiVector:
+    """Compute ``out = matrix @ x`` for a block of ``k`` right-hand sides.
 
-    if charge:
-        if spmv_engine is not None:
-            halo_time, n_msg, n_elem = spmv_engine.halo_cost
-        else:
-            halo_time, n_msg, n_elem = halo_exchange_cost(
-                context, cluster.topology, ledger.model
-            )
-        ledger.add_time(Phase.HALO_COMM, halo_time)
-        ledger.add_traffic(Phase.HALO_COMM, n_msg, n_elem)
-
-    if engine and spmv_engine is None:
-        # None when the context does not cover the matrix's off-diagonal
-        # columns; the dense-gather path below never depends on the context
-        # numerically.
-        spmv_engine = matrix.spmv_engine(context)
-
-    if spmv_engine is not None:
-        spmv_engine.apply(x, out)
-    else:
-        # Dense-gather reference: each node multiplies its (n_i x n) row block
-        # with the freshly assembled global vector; only the ghost elements
-        # described by the context would be communicated on a real machine.
-        # Reading every owner's block here also enforces the failure
-        # semantics: SpMV cannot proceed with a failed owner.
-        x_global = np.empty(partition.n)
-        for rank in range(partition.n_parts):
-            start, stop = partition.range_of(rank)
-            x_global[start:stop] = x.get_block(rank)
-
-        for rank in range(partition.n_parts):
-            block = matrix.row_block(rank)
-            out.set_block(rank, block @ x_global)
-
-    if charge:
-        ledger.add_time(
-            Phase.SPMV_COMPUTE,
-            spmv_engine.compute_cost if spmv_engine is not None
-            else spmv_compute_cost(matrix, ledger.model),
+    The batched counterpart of :func:`distributed_spmv`: one halo exchange
+    ships all ``k`` columns (message count unchanged, ``k``-fold element
+    volume) and each rank runs a single CSR x dense-block kernel, so the
+    per-call Python dispatch and the ghost gather are amortized over the
+    columns.  Per-column results are bit-identical to ``k`` single-vector
+    calls on the same execution path.
+    """
+    _check_operands(matrix, x, out)
+    if x.n_cols != out.n_cols:
+        raise ValueError(
+            f"input has {x.n_cols} columns but output has {out.n_cols}"
         )
-    return out
+    return _dispatch_spmv(matrix, x, out, context, charge=charge,
+                          engine=engine, overlap=overlap, n_rhs=x.n_cols,
+                          block=True)
 
 
 def ghost_values_for(context: CommunicationContext, x: DistributedVector,
-                     dst: int) -> Dict[int, np.ndarray]:
+                     dst: int, *,
+                     matrix: Optional[DistributedMatrix] = None
+                     ) -> Dict[int, np.ndarray]:
     """The ghost values node *dst* receives during one SpMV halo exchange.
 
     Returns a map ``src -> values`` (aligned with
     ``context.send_indices(src, dst)``).  The ESR protocol uses this to model
     what each node naturally holds after the exchange.
+
+    When *matrix* is given and holds a cached SpMV engine for *context*, the
+    gather reuses the engine's precomputed compressed ghost runs (one
+    fancy-index per sender into a single buffer, no per-call index
+    arithmetic) instead of per-edge fancy-indexed copies.
     """
+    if matrix is not None:
+        cached = matrix.cached_spmv_engine(context)
+        if cached is not None and cached.context is context:
+            return cached.ghost_values_for(x, dst)
     out: Dict[int, np.ndarray] = {}
     partition = x.partition
     for src in context.senders_to(dst):

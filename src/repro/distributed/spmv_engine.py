@@ -30,11 +30,40 @@ position map (one fancy-index per rank).  This mirrors what the pack/unpack
 loops of a real halo exchange do, driven by exactly the ``send_indices`` sets
 of the :class:`~repro.distributed.comm_context.CommunicationContext`.
 
+**Split-phase execution (comm/compute overlap).**  At build time each rank's
+compressed block is additionally partitioned into a *diagonal* part (owned
+columns, ``(n_k, n_k)``) and an *off-diagonal* part (ghost columns,
+``(n_k, |G_k|)``).  :meth:`apply_split` models the classical non-blocking
+halo exchange: post the sends, compute ``A_diag @ x_own`` while the ghosts
+are "in flight", then accumulate ``A_offdiag @ x_ghost`` once they "arrive".
+The matching overlap-aware charge (see :meth:`overlap_charge`) is the
+per-rank max reduction ``max_i(max(halo_i, diag_i) + offdiag_i)`` of
+:meth:`~repro.cluster.cost_model.MachineModel.split_spmv_time` -- never more
+than the serialized ``halo + compute`` charge.  Because the two-kernel
+execution accumulates each row's diagonal terms before its off-diagonal
+terms (exactly as PETSc's overlapped ``MatMult`` does), its results may
+differ from the fused kernel in the last floating-point bits; the fused
+:meth:`apply` path (``overlap=False``, the default everywhere) remains
+bit-identical to the dense-gather reference.  The split matrices copy the
+block's ``data`` array, so -- unlike the fused path -- silent in-place edits
+of stored block values are only picked up after a ``set_block``-style write
+bumps the structure version and the engine is rebuilt.
+
+**Batched multi-RHS kernels.**  :meth:`apply_block` computes ``Y = A X`` for
+``(n_i, k)`` blocks of a
+:class:`~repro.distributed.dmultivector.DistributedMultiVector` with *one*
+ghost gather amortized over all ``k`` columns: the send pool is staged as a
+``(pool, k)`` matrix with one 2-D fancy-index per rank, and each rank's
+product is a single CSR x dense-block kernel.  Per-column results are
+bit-identical to ``k`` single-vector :meth:`apply` calls (the CSR kernel
+accumulates each column in the same entry order).
+
 **Charge caching.**  The bulk-synchronous halo and compute charges depend
 only on static data (scatter counts, topology latencies, per-rank nnz), so
 the engine computes them once with the same helper functions the reference
 path calls per matvec.  The charged values -- and, with cost jitter enabled,
-the RNG draw sequence -- are identical to the reference path's.
+the RNG draw sequence -- are identical to the reference path's.  Multi-RHS
+and overlap charges are cached per column count ``k``.
 
 **Cache invalidation contract.**  Engines are cached on
 :class:`~repro.distributed.dmatrix.DistributedMatrix` keyed by the context
@@ -45,16 +74,18 @@ path) bumps the matrix's ``structure_version``; a cached engine whose
 next use, so recovery that re-installs matrix blocks on replacement nodes
 stays correct without any explicit notification.
 
-Failure semantics are preserved: ``apply`` touches every rank's matrix block
-and input-vector block through the node memories, so an SpMV involving a
-failed owner still raises :class:`~repro.cluster.errors.NodeFailedError`
-exactly like the reference path.
+Failure semantics are preserved: every execution path touches every rank's
+matrix block and input-vector block through the node memories, so an SpMV
+involving a failed owner still raises
+:class:`~repro.cluster.errors.NodeFailedError` exactly like the reference
+path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional
+import weakref
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -63,12 +94,15 @@ try:  # Fast path: accumulate the CSR matvec directly into the output block.
     from scipy.sparse import _sparsetools as _scipy_sparsetools
 
     _csr_matvec = _scipy_sparsetools.csr_matvec
+    _csr_matvecs = _scipy_sparsetools.csr_matvecs
 except (ImportError, AttributeError):  # pragma: no cover - old/odd SciPy
     _csr_matvec = None
+    _csr_matvecs = None
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from .comm_context import CommunicationContext
     from .dmatrix import DistributedMatrix
+    from .dmultivector import DistributedMultiVector
     from .dvector import DistributedVector
 
 
@@ -81,6 +115,27 @@ class ContextMismatchError(ValueError):
     partition).  The caller is expected to fall back to the dense-gather
     reference path, whose numerics never depend on the context.
     """
+
+
+@dataclass(frozen=True)
+class OverlapCharge:
+    """Overlap-aware cost of one split-phase SpMV (or multi-RHS SpMV).
+
+    ``total_time`` is the bulk-synchronous wall time
+    ``max_i(max(halo_i, diag_i) + offdiag_i)``; ``compute_time`` its pure
+    compute part ``max_i(diag_i + offdiag_i)``; ``exposed_comm_time`` the
+    halo remainder that diagonal compute could not hide; and
+    ``hidden_halo_fraction`` the fraction of the *serialized* halo charge
+    hidden by the overlap (``0`` when there is no halo traffic at all).
+    """
+
+    total_time: float
+    compute_time: float
+    exposed_comm_time: float
+    serialized_time: float
+    hidden_halo_fraction: float
+    n_messages: int
+    n_elements: int
 
 
 @dataclass
@@ -99,10 +154,18 @@ class _RankPlan:
     ghost_pool_pos: np.ndarray
     #: Preallocated compressed input buffer ``[x_own | x_ghost]``.
     xbuf: np.ndarray
+    #: Non-zeros in owned columns (the diagonal block ``A_{I_k, I_k}``).
+    diag_nnz: int = 0
+    #: Non-zeros in ghost columns (``nnz - diag_nnz``).
+    offdiag_nnz: int = 0
+    #: ``(n_k, n_k)`` diagonal part, built lazily on first split-phase use.
+    diag: Optional[sp.csr_matrix] = field(default=None, repr=False)
+    #: ``(n_k, |G_k|)`` off-diagonal part (ghost-column space), lazy.
+    offdiag: Optional[sp.csr_matrix] = field(default=None, repr=False)
 
 
 class SpmvEngine:
-    """Executes ``out = A x`` through precomputed local views.
+    """Executes ``out = A x`` (and ``Y = A X``) through precomputed local views.
 
     Parameters
     ----------
@@ -132,29 +195,38 @@ class SpmvEngine:
         n_parts = partition.n_parts
         # -- send-pool layout: per rank, the locally-owned entries it sends
         #    to at least one other node (the paper's R_i), in sorted order.
+        #    The layout comes from the context's canonical helper so the
+        #    fused ESR staging (which reuses the staged pool by position)
+        #    derives positions from the exact same ordering.
+        sent_global, pool_offsets = context.send_pool_layout()
         self._sent_local: List[np.ndarray] = []
-        pool_offsets = np.zeros(n_parts + 1, dtype=np.int64)
         for rank in range(n_parts):
             start, stop = partition.range_of(rank)
-            sends = [context.send_indices(rank, dst)
-                     for dst in context.receivers_of(rank)]
-            sent = (np.unique(np.concatenate(sends)) if sends
-                    else np.empty(0, dtype=np.int64))
+            sent = sent_global[rank]
             if sent.size and (sent[0] < start or sent[-1] >= stop):
                 raise ContextMismatchError(
                     f"scatter plan sends indices not owned by rank {rank}; "
                     "cannot build a local view"
                 )
             self._sent_local.append(sent - start)
-            pool_offsets[rank + 1] = pool_offsets[rank] + sent.size
         self._pool_offsets = pool_offsets
         self._pool = np.empty(int(pool_offsets[-1]))
+        #: Weak reference to the vector the pool was last staged from (the
+        #: fused ESR staging only reuses pool values for the exact vector of
+        #: the SpMV that preceded it; see :meth:`pool_staged_from`).
+        self._pool_source: Optional[weakref.ReferenceType] = None
+        #: Per column count k: staged ``(pool, k)`` buffers for multi-RHS.
+        self._block_pools: Dict[int, np.ndarray] = {}
+        #: Per dst: ``[(src, lo, hi, local_idx)]`` runs of the sorted ghost
+        #: set grouped by owner (lazy; see :meth:`ghost_values_for`).
+        self._ghost_runs: Dict[int, List[Tuple[int, int, int, np.ndarray]]] = {}
 
         # -- per-rank compressed local views
         self._plans: List[_RankPlan] = []
         column_map = np.full(partition.n, -1, dtype=np.int64)
         for rank in range(n_parts):
             self._plans.append(self._build_rank_plan(rank, column_map))
+        self._nnz = [int(plan.local.nnz) for plan in self._plans]
 
         # -- cached static charges (identical values to the per-call
         #    recomputation of the reference path).
@@ -165,6 +237,12 @@ class SpmvEngine:
             context, cluster.topology, cluster.ledger.model
         )
         self.compute_cost = spmv_compute_cost(matrix, cluster.ledger.model)
+        #: Per column count k > 1: cached (time, msgs, elements) halo charge.
+        self._halo_cost_k: Dict[int, Tuple[float, int, int]] = {}
+        #: Per column count k > 1: cached bulk-synchronous compute charge.
+        self._compute_cost_k: Dict[int, float] = {}
+        #: Per column count k: cached overlap-aware charge.
+        self._overlap_charges: Dict[int, OverlapCharge] = {}
 
     # -- construction -------------------------------------------------------
     def _build_rank_plan(self, rank: int, column_map: np.ndarray) -> _RankPlan:
@@ -210,6 +288,7 @@ class SpmvEngine:
              block.indptr),
             shape=(n_local, n_local + ghost.size),
         )
+        diag_nnz = int(np.count_nonzero(compressed < n_local))
 
         # Pool positions of the ghost values: ghost g owned by src sits at
         # pool_offsets[src] + (position of g within src's sent set).
@@ -230,7 +309,40 @@ class SpmvEngine:
             ghost_indices=ghost,
             ghost_pool_pos=ghost_pool_pos,
             xbuf=np.empty(n_local + ghost.size),
+            diag_nnz=diag_nnz,
+            offdiag_nnz=int(local.nnz) - diag_nnz,
         )
+
+    def _ensure_split(self, rank: int) -> _RankPlan:
+        """Build the diag/offdiag partition of *rank*'s block on first use.
+
+        The split matrices preserve the stored entry order within each part
+        (they are order-preserving subsets of the compressed block), so the
+        two-kernel execution accumulates the same per-part sequences as the
+        fused kernel -- only the diag/offdiag interleaving differs.
+        """
+        plan = self._plans[rank]
+        if plan.diag is not None:
+            return plan
+        local = plan.local
+        n_local = plan.n_local
+        n_ghost = int(plan.ghost_indices.size)
+        mask = local.indices < n_local
+        running = np.concatenate(([0], np.cumsum(mask, dtype=np.int64)))
+        diag_indptr = running[local.indptr]
+        plan.diag = sp.csr_matrix(
+            (local.data[mask], local.indices[mask], diag_indptr),
+            shape=(n_local, n_local),
+        )
+        off_mask = ~mask
+        running = np.concatenate(([0], np.cumsum(off_mask, dtype=np.int64)))
+        off_indptr = running[local.indptr]
+        plan.offdiag = sp.csr_matrix(
+            (local.data[off_mask], local.indices[off_mask] - n_local,
+             off_indptr),
+            shape=(n_local, n_ghost),
+        )
+        return plan
 
     # -- queries ------------------------------------------------------------
     def ghost_indices(self, rank: int) -> np.ndarray:
@@ -241,7 +353,147 @@ class SpmvEngine:
         """The compressed ``(n_k, n_k + |G_k|)`` local view of *rank*."""
         return self._plans[rank].local
 
+    def diag_block(self, rank: int) -> sp.csr_matrix:
+        """The ``(n_k, n_k)`` diagonal part of *rank*'s compressed block."""
+        return self._ensure_split(rank).diag
+
+    def offdiag_block(self, rank: int) -> sp.csr_matrix:
+        """The ``(n_k, |G_k|)`` off-diagonal (ghost-column) part of *rank*."""
+        return self._ensure_split(rank).offdiag
+
+    def diag_nnz(self, rank: int) -> int:
+        """Non-zeros of *rank*'s rows in owned columns."""
+        return self._plans[rank].diag_nnz
+
+    def offdiag_nnz(self, rank: int) -> int:
+        """Non-zeros of *rank*'s rows in ghost columns."""
+        return self._plans[rank].offdiag_nnz
+
+    # -- cost charges --------------------------------------------------------
+    def halo_cost_for(self, n_rhs: int) -> Tuple[float, int, int]:
+        """``(time, messages, elements)`` of one halo exchange of *n_rhs* columns.
+
+        ``n_rhs == 1`` returns the cached single-vector charge (bit-identical
+        to the reference path's per-call recomputation).  For batched
+        multi-RHS exchanges every scatter edge ships ``|S_ik| * n_rhs``
+        values in one message, so the message count is unchanged while the
+        per-message volume scales with the column count.
+        """
+        if n_rhs == 1:
+            return self.halo_cost
+        if n_rhs not in self._halo_cost_k:
+            from .spmv import halo_exchange_cost
+
+            cluster = self.matrix.cluster
+            self._halo_cost_k[n_rhs] = halo_exchange_cost(
+                self.context, cluster.topology, cluster.ledger.model,
+                n_rhs=n_rhs,
+            )
+        return self._halo_cost_k[n_rhs]
+
+    def compute_cost_for(self, n_rhs: int) -> float:
+        """Bulk-synchronous compute charge of ``Y = A X`` with *n_rhs* columns."""
+        if n_rhs == 1:
+            return self.compute_cost
+        if n_rhs not in self._compute_cost_k:
+            model = self.matrix.cluster.ledger.model
+            self._compute_cost_k[n_rhs] = max(
+                model.spmv_time(nnz * n_rhs) for nnz in self._nnz
+            )
+        return self._compute_cost_k[n_rhs]
+
+    def _receiver_halo_times(self, n_rhs: int) -> np.ndarray:
+        """Per-rank serialized halo time (sum of incoming-message costs)."""
+        cluster = self.matrix.cluster
+        model = cluster.ledger.model
+        times = np.zeros(self.partition.n_parts)
+        for edge in self.context.edges():
+            times[edge.dst] += model.message_time(
+                cluster.topology.latency(edge.src, edge.dst),
+                edge.count * n_rhs,
+            )
+        return times
+
+    def overlap_charge(self, n_rhs: int = 1) -> OverlapCharge:
+        """The overlap-aware charge of one split-phase SpMV (cached per k).
+
+        Per rank ``i`` the split-phase time is ``max(halo_i, diag_i) +
+        offdiag_i`` (:meth:`MachineModel.split_spmv_time`); the
+        bulk-synchronous charge is the max reduction over ranks.  The ledger
+        books the pure compute part ``max_i(diag_i + offdiag_i)`` under
+        ``compute.spmv`` and only the exposed remainder under ``comm.halo``
+        (see :meth:`CostLedger.add_overlapped`).
+        """
+        if n_rhs not in self._overlap_charges:
+            model = self.matrix.cluster.ledger.model
+            halo = self._receiver_halo_times(n_rhs)
+            total = 0.0
+            compute = 0.0
+            for rank, plan in enumerate(self._plans):
+                diag_t = model.spmv_time(plan.diag_nnz * n_rhs)
+                offdiag_t = model.spmv_time(plan.offdiag_nnz * n_rhs)
+                total = max(total, max(float(halo[rank]), diag_t) + offdiag_t)
+                compute = max(compute, diag_t + offdiag_t)
+            halo_serial, n_msg, n_elem = self.halo_cost_for(n_rhs)
+            exposed = total - compute
+            serialized = halo_serial + self.compute_cost_for(n_rhs)
+            hidden = ((halo_serial - exposed) / halo_serial
+                      if halo_serial > 0.0 else 0.0)
+            self._overlap_charges[n_rhs] = OverlapCharge(
+                total_time=total,
+                compute_time=compute,
+                exposed_comm_time=exposed,
+                serialized_time=serialized,
+                hidden_halo_fraction=hidden,
+                n_messages=n_msg,
+                n_elements=n_elem,
+            )
+        return self._overlap_charges[n_rhs]
+
     # -- execution ----------------------------------------------------------
+    def _stage_pool_into(self, x, pool: np.ndarray) -> np.ndarray:
+        """Stage *x*'s sent entries into *pool* (one fancy-index per rank).
+
+        Works for vectors (1-D pool) and multi-vectors (``(pool, k)``).
+        Also reads every rank's matrix block through the node memories,
+        enforcing failure semantics exactly as the reference path's per-call
+        block reads do.
+        """
+        pool_offsets = self._pool_offsets
+        for rank in range(self.partition.n_parts):
+            self.matrix.row_block(rank)
+            sent_local = self._sent_local[rank]
+            if sent_local.size:
+                pool[pool_offsets[rank]:pool_offsets[rank + 1]] = \
+                    x.get_block(rank)[sent_local]
+        return pool
+
+    def _stage_pool(self, x: "DistributedVector") -> np.ndarray:
+        """Stage the single-vector send pool and stamp its source."""
+        self._pool_source = None
+        self._stage_pool_into(x, self._pool)
+        self._pool_source = weakref.ref(x)
+        return self._pool
+
+    @property
+    def send_pool(self) -> np.ndarray:
+        """The staged send pool (layout: ``context.send_pool_layout()``).
+
+        Consumers (the fused ESR staging) must first confirm via
+        :meth:`pool_staged_from` that the pool holds the vector they expect.
+        """
+        return self._pool
+
+    def pool_staged_from(self, x: "DistributedVector") -> bool:
+        """True if the send pool currently holds the staged values of *x*.
+
+        Lets the fused ESR staging reuse the pool only when the SpMV that
+        immediately preceded it staged this exact vector (a stale pool --
+        e.g. after a reference-path SpMV -- would otherwise ship outdated
+        copies).
+        """
+        return self._pool_source is not None and self._pool_source() is x
+
     def apply(self, x: "DistributedVector", out: "DistributedVector"
               ) -> "DistributedVector":
         """Numeric ``out = A x`` (no cost charging; see ``distributed_spmv``).
@@ -254,21 +506,9 @@ class SpmvEngine:
         and each rank's owned part is copied into the input buffer before
         its output block is touched.
         """
-        partition = self.partition
-        matrix = self.matrix
-        pool = self._pool
-        pool_offsets = self._pool_offsets
+        pool = self._stage_pool(x)
 
-        # Stage the send pool (and enforce failure semantics for the matrix
-        # blocks, exactly as the reference path's per-call block reads do).
-        for rank in range(partition.n_parts):
-            matrix.row_block(rank)
-            sent_local = self._sent_local[rank]
-            if sent_local.size:
-                pool[pool_offsets[rank]:pool_offsets[rank + 1]] = \
-                    x.get_block(rank)[sent_local]
-
-        for rank in range(partition.n_parts):
+        for rank in range(self.partition.n_parts):
             plan = self._plans[rank]
             xbuf = plan.xbuf
             xbuf[:plan.n_local] = x.get_block(rank)
@@ -279,28 +519,170 @@ class SpmvEngine:
             except KeyError:
                 target = None
             if target is None:
-                out.set_block(rank, self._matvec(plan, xbuf))
+                out.set_block(rank, self._matvec(plan.local, xbuf))
             else:
-                self._matvec(plan, xbuf, out=target)
+                self._matvec(plan.local, xbuf, out=target)
+        return out
+
+    def apply_split(self, x: "DistributedVector", out: "DistributedVector"
+                    ) -> "DistributedVector":
+        """Numeric ``out = A x`` through the split-phase (overlapped) kernels.
+
+        Models a non-blocking halo exchange: the send pool is staged
+        ("sends posted"), every rank computes its diagonal product
+        ``A_diag @ x_own`` while the ghosts are in flight, then accumulates
+        ``A_offdiag @ x_ghost``.  Per row, diagonal terms are summed before
+        off-diagonal terms, so results may differ from the fused
+        :meth:`apply` in the last bits (identical to how PETSc's overlapped
+        ``MatMult`` rounds).  ``out`` may alias ``x``.
+        """
+        pool = self._stage_pool(x)
+
+        # Phase 1: diagonal products "while ghosts are in flight".
+        for rank in range(self.partition.n_parts):
+            plan = self._ensure_split(rank)
+            xbuf = plan.xbuf
+            xbuf[:plan.n_local] = x.get_block(rank)
+            try:
+                target = out.get_block(rank)
+            except KeyError:
+                target = None
+            if target is None:
+                out.set_block(
+                    rank, self._matvec(plan.diag, xbuf[:plan.n_local])
+                )
+            else:
+                self._matvec(plan.diag, xbuf[:plan.n_local], out=target)
+
+        # Phase 2: the ghosts "arrived" -- accumulate the off-diagonal part.
+        for rank in range(self.partition.n_parts):
+            plan = self._plans[rank]
+            if not plan.ghost_pool_pos.size:
+                continue
+            gbuf = plan.xbuf[plan.n_local:]
+            gbuf[:] = pool[plan.ghost_pool_pos]
+            self._matvec(plan.offdiag, gbuf, out=out.get_block(rank),
+                         accumulate=True)
+        return out
+
+    def apply_block(self, x: "DistributedMultiVector",
+                    y: "DistributedMultiVector", *,
+                    split: bool = False) -> "DistributedMultiVector":
+        """Numeric ``Y = A X`` for ``(n_i, k)`` blocks (batched multi-RHS).
+
+        One ghost gather is amortized over all ``k`` columns: the send pool
+        is staged as a ``(pool, k)`` matrix (one 2-D fancy-index per rank)
+        and each rank's product is a single CSR x dense-block kernel.  The
+        per-column results are bit-identical to ``k`` single-vector
+        :meth:`apply` calls (or, with ``split=True``, to ``k``
+        :meth:`apply_split` calls).  ``y`` may alias ``x``.
+        """
+        n_rhs = x.n_cols
+        pool = self._block_pools.get(n_rhs)
+        if pool is None or pool.shape[0] != self._pool.size:
+            pool = np.empty((self._pool.size, n_rhs))
+            self._block_pools[n_rhs] = pool
+        self._stage_pool_into(x, pool)
+
+        for rank in range(self.partition.n_parts):
+            plan = (self._ensure_split(rank) if split else self._plans[rank])
+            own = x.get_block(rank)
+            if split:
+                result = plan.diag @ own
+                if plan.ghost_pool_pos.size:
+                    self._matmat_accumulate(
+                        plan.offdiag, pool[plan.ghost_pool_pos], result
+                    )
+            else:
+                xbuf = np.empty((plan.n_local + plan.ghost_indices.size,
+                                 n_rhs))
+                xbuf[:plan.n_local] = own
+                if plan.ghost_pool_pos.size:
+                    xbuf[plan.n_local:] = pool[plan.ghost_pool_pos]
+                result = plan.local @ xbuf
+            y.set_block(rank, result)
+        return y
+
+    @staticmethod
+    def _matvec(mat: sp.csr_matrix, xbuf: np.ndarray,
+                out: Optional[np.ndarray] = None,
+                accumulate: bool = False) -> np.ndarray:
+        """CSR matvec into *out*; with ``accumulate`` adds instead of overwriting."""
+        if _csr_matvec is None:  # pragma: no cover - SciPy without _sparsetools
+            result = mat @ xbuf
+            if out is None:
+                return result
+            if accumulate:
+                out += result
+            else:
+                out[:] = result
+            return out
+        if out is None:
+            out = np.zeros(mat.shape[0])
+        elif not accumulate:
+            out[:] = 0.0
+        _csr_matvec(mat.shape[0], mat.shape[1], mat.indptr,
+                    mat.indices, mat.data, xbuf, out)
         return out
 
     @staticmethod
-    def _matvec(plan: _RankPlan, xbuf: np.ndarray,
-                out: Optional[np.ndarray] = None) -> np.ndarray:
-        """Compressed local matvec, accumulated into *out* when provided."""
-        local = plan.local
-        if _csr_matvec is None:  # pragma: no cover - SciPy without _sparsetools
-            result = local @ xbuf
-            if out is None:
-                return result
-            out[:] = result
+    def _matmat_accumulate(mat: sp.csr_matrix, x: np.ndarray,
+                           out: np.ndarray) -> np.ndarray:
+        """``out += mat @ x`` accumulated in place (same rounding as the
+        single-vector accumulate kernel, column by column)."""
+        if _csr_matvecs is None:  # pragma: no cover - SciPy without _sparsetools
+            out += mat @ x
             return out
-        if out is None:
-            out = np.zeros(plan.n_local)
-        else:
-            out[:] = 0.0
-        _csr_matvec(local.shape[0], local.shape[1], local.indptr,
-                    local.indices, local.data, xbuf, out)
+        x = np.ascontiguousarray(x)
+        _csr_matvecs(mat.shape[0], mat.shape[1], x.shape[1], mat.indptr,
+                     mat.indices, mat.data, x, out)
+        return out
+
+    # -- ghost-value gathers -------------------------------------------------
+    def _ghost_runs_of(self, dst: int) -> List[Tuple[int, int, int, np.ndarray]]:
+        """Owner-contiguous runs of *dst*'s sorted ghost set (cached).
+
+        Block-row ownership ranges are contiguous in global index space, so
+        the sorted ghost set of *dst* groups by owner into contiguous runs;
+        the run of owner ``src`` is exactly ``S_{src,dst}``.  Each entry is
+        ``(src, lo, hi, local_idx)`` with ``local_idx`` the owner-local
+        offsets of the run.
+        """
+        runs = self._ghost_runs.get(dst)
+        if runs is None:
+            plan = self._plans[dst]
+            ghost = plan.ghost_indices
+            runs = []
+            if ghost.size:
+                owners = self.partition.owner_of(ghost)
+                boundaries = np.concatenate(
+                    ([0], np.nonzero(np.diff(owners))[0] + 1, [ghost.size])
+                )
+                for lo, hi in zip(boundaries[:-1], boundaries[1:]):
+                    src = int(owners[lo])
+                    start, _ = self.partition.range_of(src)
+                    runs.append((src, int(lo), int(hi), ghost[lo:hi] - start))
+            self._ghost_runs[dst] = runs
+        return runs
+
+    def ghost_values_for(self, x: "DistributedVector", dst: int
+                         ) -> Dict[int, np.ndarray]:
+        """The ghost values *dst* receives during one halo exchange of *x*.
+
+        Vectorized replacement for the per-edge gathers of
+        :func:`repro.distributed.spmv.ghost_values_for`: the precomputed
+        owner-contiguous runs of the compressed ghost set are filled into one
+        buffer (one fancy-index per sender, no per-call index arithmetic) and
+        returned as per-sender slices aligned with ``send_indices(src, dst)``.
+        """
+        runs = self._ghost_runs_of(dst)
+        if not runs:
+            return {}
+        values = np.empty(self._plans[dst].ghost_indices.size)
+        out: Dict[int, np.ndarray] = {}
+        for src, lo, hi, local_idx in runs:
+            values[lo:hi] = x.get_block(src)[local_idx]
+            out[src] = values[lo:hi]
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

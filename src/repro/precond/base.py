@@ -49,12 +49,14 @@ class Preconditioner(abc.ABC):
     def __init__(self) -> None:
         self._matrix: Optional[sp.csr_matrix] = None
         self._partition: Optional[BlockRowPartition] = None
+        self._max_block_work_nnz: Optional[int] = None
 
     # -- lifecycle ---------------------------------------------------------
     def setup(self, matrix, partition: Optional[BlockRowPartition] = None) -> None:
         """Prepare the preconditioner for *matrix* (factorisations etc.)."""
         self._matrix = sp.csr_matrix(matrix)
         self._partition = partition
+        self._max_block_work_nnz = None
         self._setup_impl()
 
     def _setup_impl(self) -> None:
@@ -105,6 +107,24 @@ class Preconditioner(abc.ABC):
             return self.work_nnz()
         size = self._partition.size_of(rank)
         return int(round(self.work_nnz() * size / max(self._partition.n, 1)))
+
+    def max_block_work_nnz(self) -> int:
+        """Worst-rank ``block_work_nnz`` (cached; static after ``setup``).
+
+        The distributed solvers charge every block-local application with
+        the slowest rank's work; since the per-block work never changes
+        between ``setup`` calls, the max over ranks is computed once here
+        instead of per iteration.
+        """
+        if self._max_block_work_nnz is None:
+            if self._partition is None:
+                self._max_block_work_nnz = self.work_nnz()
+            else:
+                self._max_block_work_nnz = max(
+                    self.block_work_nnz(rank)
+                    for rank in range(self._partition.n_parts)
+                )
+        return self._max_block_work_nnz
 
     # -- ESR structural access --------------------------------------------------
     @property

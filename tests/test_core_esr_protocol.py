@@ -4,13 +4,14 @@ import numpy as np
 import pytest
 
 from repro.cluster import MachineModel, Phase, UnrecoverableStateError, VirtualCluster
-from repro.core.esr import ESRProtocol
+from repro.core.esr import _ESR_KEY, ESRProtocol
 from repro.core.redundancy import BackupPlacement
 from repro.distributed import (
     BlockRowPartition,
     CommunicationContext,
     DistributedMatrix,
     DistributedVector,
+    distributed_spmv,
 )
 from repro.matrices import poisson_2d
 
@@ -147,6 +148,133 @@ class TestRecovery:
         # Storing with a failed holder present must not raise.
         esr.after_spmv(p, 0)
         assert 0 not in esr.holders_with_copies(1, 0)
+
+
+def legacy_stores(esr, p, slot):
+    """Reference implementation of the former per-(owner, holder) loop."""
+    from repro.cluster.errors import NodeFailedError
+
+    stores = {}
+    for (owner, holder), local_idx in esr._pattern_local.items():
+        if not esr.cluster.node(holder).is_alive:
+            continue
+        try:
+            values = p.get_block(owner)[local_idx]
+        except NodeFailedError:
+            continue
+        stores[(holder, (_ESR_KEY, slot, owner))] = values.copy()
+    return stores
+
+
+def stored_snapshot(esr, slot):
+    """All ESR stores of *slot* currently present on alive nodes."""
+    out = {}
+    for (owner, holder) in esr._pattern_local:
+        node = esr.cluster.node(holder)
+        if not node.is_alive:
+            continue
+        key = (_ESR_KEY, slot, owner)
+        if key in node.memory:
+            out[(holder, key)] = node.memory[key]
+    return out
+
+
+class TestFusedStaging:
+    """The fused (pool-based) staging must be byte-identical to the former
+    per-(owner, holder) gather loop, with and without an engine pool to
+    reuse, and under node failures mid-iteration."""
+
+    def assert_stores_equal(self, actual, expected):
+        assert sorted(actual) == sorted(expected)
+        for key in expected:
+            assert actual[key].tobytes() == expected[key].tobytes()
+
+    def test_byte_identical_without_engine(self, setup):
+        cluster, partition, _, context = setup
+        esr = ESRProtocol(cluster, context, phi=2)
+        p = make_p(cluster, partition, 3)
+        expected = legacy_stores(esr, p, slot=1)
+        esr.after_spmv(p, 3)
+        self.assert_stores_equal(stored_snapshot(esr, 1), expected)
+
+    def test_byte_identical_with_engine_pool_reuse(self, setup):
+        cluster, partition, dist, context = setup
+        esr = ESRProtocol(cluster, context, phi=2, matrix=dist)
+        p = make_p(cluster, partition, 4)
+        ap = DistributedVector.zeros(cluster, partition, "ap")
+        distributed_spmv(dist, p, ap, context)  # stages the engine pool
+        engine = dist.cached_spmv_engine(context)
+        assert engine is not None and engine.pool_staged_from(p)
+        expected = legacy_stores(esr, p, slot=0)
+        esr.after_spmv(p, 4)
+        self.assert_stores_equal(stored_snapshot(esr, 0), expected)
+
+    def test_stale_engine_pool_is_not_reused(self, setup):
+        """A pool staged from a different vector must be ignored (the
+        self-staged values are used instead)."""
+        cluster, partition, dist, context = setup
+        esr = ESRProtocol(cluster, context, phi=1, matrix=dist)
+        other = make_p(cluster, partition, 9)
+        ap = DistributedVector.zeros(cluster, partition, "ap")
+        distributed_spmv(dist, other, ap, context)
+        p = make_p(cluster, partition, 5)
+        engine = dist.cached_spmv_engine(context)
+        assert engine is not None and not engine.pool_staged_from(p)
+        expected = legacy_stores(esr, p, slot=1)
+        esr.after_spmv(p, 5)
+        self.assert_stores_equal(stored_snapshot(esr, 1), expected)
+
+    def test_failed_owner_mid_iteration(self, setup):
+        """Stores of a failed owner are skipped; the surviving owners'
+        copies still match the legacy loop byte for byte."""
+        cluster, partition, _, context = setup
+        esr = ESRProtocol(cluster, context, phi=2)
+        p0 = make_p(cluster, partition, 0)
+        esr.after_spmv(p0, 0)
+        baseline = stored_snapshot(esr, 0)
+        p2 = make_p(cluster, partition, 2)  # same parity slot as iteration 0
+        cluster.fail_nodes([2])
+        expected = legacy_stores(esr, p2, slot=0)
+        esr.after_spmv(p2, 2)
+        actual = stored_snapshot(esr, 0)
+        # Fresh stores byte-identical to the legacy loop ...
+        for key in expected:
+            assert actual[key].tobytes() == expected[key].tobytes()
+        # ... and pairs owned by the failed rank keep the previous slot
+        # content on surviving holders (legacy semantics: skip, not delete).
+        for (holder, key), values in baseline.items():
+            if key[2] == 2 and cluster.node(holder).is_alive:
+                assert actual[(holder, key)].tobytes() == values.tobytes()
+
+    def test_failed_holder_stores_nothing_fused(self, setup):
+        cluster, partition, _, context = setup
+        esr = ESRProtocol(cluster, context, phi=2)
+        p = make_p(cluster, partition, 0)
+        cluster.fail_nodes([1])
+        expected = legacy_stores(esr, p, slot=0)
+        esr.after_spmv(p, 0)
+        self.assert_stores_equal(stored_snapshot(esr, 0), expected)
+        assert all(holder != 1 for holder, _key in stored_snapshot(esr, 0))
+
+    def test_staging_extras_cover_unsent_elements(self, setup):
+        """Pattern elements no SpMV message carries (e.g. Chen-style unsent
+        extras) must land in the extras section and still be recoverable."""
+        cluster, partition, _, context = setup
+        esr = ESRProtocol(cluster, context, phi=3)
+        staging = esr._staging
+        # The staging buffer covers the pool plus every non-pool element.
+        total_pattern = sum(
+            idx.size for idx in esr._pattern_local.values()
+        )
+        assert staging.pool_size + staging.extras_size <= \
+            staging.pool_size + total_pattern
+        p = make_p(cluster, partition, 1)
+        esr.after_spmv(p, 1)
+        expected = p.to_global()
+        cluster.fail_nodes([0])
+        rec = esr.recover_block(0, 1)
+        start, stop = partition.range_of(0)
+        assert np.array_equal(rec, expected[start:stop])
 
 
 class TestOverheadSummary:

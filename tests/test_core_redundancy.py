@@ -226,3 +226,34 @@ class TestOverheadAccounting:
         a = poisson_2d(8)
         _, _, scheme = make_scheme(a, 4, 2)
         assert "phi=2" in scheme.describe()
+
+    def test_held_pattern_memoized_and_isolated(self):
+        """The pattern is computed once; callers get fresh dicts so key-level
+        mutation cannot corrupt the scheme's internal state."""
+        a = poisson_2d(12)
+        _, _, scheme = make_scheme(a, 6, 2)
+        first = scheme.held_pattern()
+        second = scheme.held_pattern()
+        assert first is not second
+        assert sorted(first) == sorted(second)
+        for key in first:
+            assert first[key] is second[key]  # arrays are shared (immutable)
+        first.clear()
+        assert sorted(scheme.held_pattern()) == sorted(second)
+
+    def test_copy_count_matches_pattern_recount(self):
+        """The precomputed counts equal a from-scratch recount and returned
+        arrays are private copies."""
+        a = poisson_2d(12)
+        _, _, scheme = make_scheme(a, 6, 3)
+        pattern = scheme.held_pattern()
+        for owner in range(6):
+            start, _ = scheme.partition.range_of(owner)
+            expected = np.zeros(scheme.partition.size_of(owner), dtype=np.int64)
+            for (own, _holder), idx in pattern.items():
+                if own == owner and idx.size:
+                    expected[idx - start] += 1
+            counts = scheme.copy_count(owner)
+            assert np.array_equal(counts, expected)
+            counts[:] = -1  # mutating the returned array must be harmless
+            assert np.array_equal(scheme.copy_count(owner), expected)
