@@ -139,12 +139,27 @@ class Communicator:
         ----------
         contributions:
             Mapping ``rank -> value`` (scalar or ndarray).  Every alive rank
-            must contribute exactly once.
+            must contribute exactly once, and all contributions must carry
+            the same element count.
         alive_only:
             If false (default), any failed rank among the contributors or in
             the communicator aborts the operation, mimicking a collective on a
             broken communicator.  If true, the collective runs on the shrunken
             set of alive ranks only (post-notification semantics).
+
+        Notes
+        -----
+        Batched reductions -- ``k`` per-column dots of a multi-RHS block, or
+        a ``k x k`` Gram matrix -- pass ndarray contributions: each tree hop
+        still moves **one** message (the message count is independent of the
+        payload width), only the per-hop volume scales with the element
+        count, mirroring how the SpMV's ``halo_exchange_cost`` scales with
+        ``n_rhs``.  This is the amortization
+        :meth:`~repro.distributed.dmultivector.DistributedMultiVector.dots`
+        and :class:`~repro.core.block_pcg.BlockPCG` build on.  The partial
+        values are summed in ascending rank order regardless of payload
+        shape, so each component of a batched reduction accumulates exactly
+        like the corresponding scalar reduction.
         """
         participants = self.alive_ranks() if alive_only else list(range(self.size))
         if not alive_only:
@@ -158,7 +173,16 @@ class Communicator:
         values = [contributions[r] for r in participants if r in contributions]
         if not values:
             raise CommunicationError("allreduce with no participants")
-        n_scalars = _payload_elements(values[0])
+        sizes = sorted({_payload_elements(v) for v in values})
+        if len(sizes) > 1:
+            raise CommunicationError(
+                f"allreduce contributions have mismatched sizes {sizes}"
+            )
+        n_scalars = sizes[0]
+        # Summed in rank order with a plain Python loop (not np.sum over a
+        # stacked array): the accumulation order is part of the numeric
+        # contract that batched reductions match their scalar counterparts
+        # component by component.
         total = values[0]
         for v in values[1:]:
             total = total + v

@@ -175,7 +175,17 @@ class MachineModel:
         return 2.0 * max(work_nnz, 0) / self.precond_flop_rate
 
     def allreduce_time(self, n_nodes: int, n_scalars: int = 1) -> float:
-        """Cost of an allreduce over *n_nodes* of *n_scalars* doubles."""
+        """Cost of an allreduce over *n_nodes* of *n_scalars* doubles.
+
+        Batched reductions (the ``k`` per-column dots of a multi-RHS block,
+        or a ``k x k`` Gram matrix) pass ``n_scalars = k`` or ``k^2``: every
+        tree hop remains **one** message paying the per-level latency once,
+        and only the per-hop volume term scales with the payload width --
+        the same message-count-invariant scaling ``halo_exchange_cost``
+        applies to multi-RHS halo exchanges.  Since the latency term
+        dominates for the few-scalar reductions of (block-)PCG, a ``k``-wide
+        reduction costs far less than ``k`` scalar ones.
+        """
         if n_nodes <= 1:
             return 0.0
         levels = math.ceil(math.log2(n_nodes))

@@ -88,6 +88,17 @@ class NodeMemory:
         """Erase everything (used when the node fails)."""
         self._store.clear()
 
+    def invalidate(self, key: Any) -> bool:
+        """Remove *key* from the raw store without the liveness check.
+
+        Driver-side maintenance hook for metadata operations (vector renames
+        and swaps) that must not leave stale blocks behind on failed nodes:
+        a node that is later restored -- or wrongly declared dead and rejoins
+        without a scrub -- must not expose data that predates the operation
+        under a now-reassigned key.  Returns True if the key was present.
+        """
+        return self._store.pop(key, None) is not None
+
     def nbytes(self) -> int:
         """Approximate memory footprint of stored NumPy data (for statistics)."""
         self._check()

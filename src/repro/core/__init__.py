@@ -8,6 +8,7 @@ from .api import (
     resilient_solve,
     solve_with_failures,
 )
+from .block_pcg import BlockPCG, BlockSolveResult
 from .esr import ESRProtocol
 from .metrics import (
     ConvergenceComparison,
@@ -31,6 +32,8 @@ from .redundancy import (
 from .resilient_pcg import ResilientPCG
 
 __all__ = [
+    "BlockPCG",
+    "BlockSolveResult",
     "DistributedPCG",
     "DistributedSolveResult",
     "ResilientPCG",

@@ -1,35 +1,55 @@
 """Distributed multi-vectors (blocks of ``k`` right-hand sides).
 
-A :class:`DistributedMultiVector` is the thin multi-RHS counterpart of
+A :class:`DistributedMultiVector` is the multi-RHS counterpart of
 :class:`~repro.distributed.dvector.DistributedVector`: each node stores one
 ``(n_i, k)`` NumPy block of a global ``(n, k)`` dense matrix in its private
 memory.  Block-Krylov and multi-RHS workloads use it with the batched
 ``Y = A X`` kernel of the SpMV engine
-(:meth:`~repro.distributed.spmv_engine.SpmvEngine.apply_block`), which
-amortizes the ghost gather and the per-rank Python dispatch over all ``k``
-columns.
+(:meth:`~repro.distributed.spmv_engine.SpmvEngine.apply_block`) and the
+block BLAS-1 operations below; :class:`~repro.core.block_pcg.BlockPCG` is
+the solver built on top of both.
 
-The wrapper deliberately stays thin -- block access, (de)assembly, and the
-column views the equivalence tests need.  BLAS-1 style arithmetic lives on
-:class:`DistributedVector`; lifting it to blocks is future work (see the
-ROADMAP's block-Krylov item).
+**Block BLAS-1.**  ``copy``/``fill``/``scale``/``axpy``/``aypx``/``assign``
+operate on whole ``(n_i, k)`` blocks; coefficients may be scalars (applied to
+every column) or per-column ``(k,)`` vectors (one independent recurrence per
+column, which is what the lock-step block-PCG needs).  Every operation is
+elementwise, so column ``j`` of the result is bit-identical to the
+corresponding :class:`DistributedVector` operation applied to column ``j``
+alone, and the ledger charge at ``k = 1`` equals the single-vector charge
+exactly (the block charge is the single-vector charge with ``k``-fold
+element count, mirroring how the batched SpMV scales).
+
+**Batched reductions.**  :meth:`dots` returns the ``k`` per-column dot
+products through **one** allreduce of ``k`` scalars; :meth:`gram` returns
+the ``k x k`` block Gram matrix through one allreduce of ``k^2`` scalars.
+Either way the collective's message count is that of a single scalar
+allreduce -- one message per tree hop -- and only the per-hop volume scales
+(see :meth:`~repro.cluster.communicator.Communicator.allreduce_sum`), which
+is the latency amortization the paper's cost model (Sec. 4.2) rewards.
+:meth:`dots` gathers each column into a contiguous buffer before the local
+dot, so its per-column results are bit-identical to
+:meth:`DistributedVector.dot` on :meth:`column` views.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, Optional, Union
 
 import numpy as np
 
 from ..cluster.cluster import VirtualCluster
-from ..cluster.errors import NodeFailedError
+from ..cluster.cost_model import Phase
+from .blockstore import NodeBlockStore, participating_max_block_size
 from .partition import BlockRowPartition
 
 #: Memory key prefix under which multi-vector blocks are stored on each node.
 _MVEC_KEY = "mvec"
 
+#: A BLAS-1 coefficient: one scalar for all columns, or one value per column.
+Coefficient = Union[float, np.ndarray]
 
-class DistributedMultiVector:
+
+class DistributedMultiVector(NodeBlockStore):
     """A block-row distributed ``(n, k)`` dense matrix of ``k`` vectors."""
 
     def __init__(self, cluster: VirtualCluster, partition: BlockRowPartition,
@@ -71,6 +91,25 @@ class DistributedMultiVector:
             mvec.set_block(rank, values[start:stop].copy())
         return mvec
 
+    @classmethod
+    def from_columns(cls, cluster: VirtualCluster, partition: BlockRowPartition,
+                     name: str, columns) -> "DistributedMultiVector":
+        """Build a multi-vector from ``k`` distributed vectors (not charged)."""
+        columns = list(columns)
+        if not columns:
+            raise ValueError("at least one column vector is required")
+        mvec = cls(cluster, partition, name, len(columns))
+        for vec in columns:
+            if vec.cluster is not cluster:
+                raise ValueError("column vector lives on a different cluster")
+            if not partition.is_compatible_with(vec.partition):
+                raise ValueError("column vector has an incompatible partition")
+        for rank in range(partition.n_parts):
+            mvec.set_block(rank, np.column_stack(
+                [vec.get_block(rank) for vec in columns]
+            ))
+        return mvec
+
     # -- block access -------------------------------------------------------
     def _key(self) -> tuple:
         return (_MVEC_KEY, self.name)
@@ -94,38 +133,199 @@ class DistributedMultiVector:
     def to_global(self, *, allow_missing: bool = False,
                   fill_value: float = np.nan) -> np.ndarray:
         """Assemble the global ``(n, k)`` array on the driver (not charged)."""
-        out = np.full((self.partition.n, self.n_cols), fill_value,
-                      dtype=np.float64)
-        for rank in range(self.partition.n_parts):
-            start, stop = self.partition.range_of(rank)
-            try:
-                out[start:stop] = self.get_block(rank)
-            except (NodeFailedError, KeyError):
-                if not allow_missing:
-                    raise
-        return out
+        return self._assemble(lambda block: block, (self.n_cols,),
+                              allow_missing=allow_missing,
+                              fill_value=fill_value)
 
     def column(self, j: int) -> np.ndarray:
-        """Global column *j* assembled on the driver (verification helper)."""
-        if not 0 <= j < self.n_cols:
-            raise IndexError(f"column {j} out of range for k={self.n_cols}")
-        return self.to_global()[:, j]
+        """Global column *j* assembled on the driver (verification helper).
 
-    def available_ranks(self) -> List[int]:
-        """Ranks whose block is currently readable."""
-        out = []
+        Gathers only column *j* of each block -- the full ``(n, k)`` global
+        matrix is never materialised.
+        """
+        j = self._check_column(j)
+        return self._assemble(lambda block: block[:, j], ())
+
+    # ``has_block`` / ``available_ranks`` / ``lost_ranks`` / ``delete`` come
+    # from :class:`NodeBlockStore` (shared with ``DistributedVector``).
+
+    # -- elementwise / block BLAS-1 operations -------------------------------
+    def _coefficient(self, alpha: Coefficient) -> Union[float, np.ndarray]:
+        """Normalise *alpha* to a scalar or a ``(k,)`` broadcast row."""
+        arr = np.asarray(alpha, dtype=np.float64)
+        if arr.ndim == 0:
+            return float(arr)
+        if arr.shape != (self.n_cols,):
+            raise ValueError(
+                f"per-column coefficients must have shape ({self.n_cols},), "
+                f"got {arr.shape}"
+            )
+        return arr
+
+    def _charge_block_op(self, flops_per_element: float = 2.0,
+                         phase: str = Phase.VECTOR_COMPUTE,
+                         n_rows: Optional[int] = None) -> None:
+        """Charge one streaming block op: single-vector charge, ``k``-fold size."""
+        model = self.cluster.ledger.model
+        if n_rows is None:
+            n_rows = self.partition.max_block_size()
+        self.cluster.ledger.add_time(
+            phase,
+            model.vector_op_time(n_rows * self.n_cols, flops_per_element),
+        )
+
+    def copy(self, name: str) -> "DistributedMultiVector":
+        """Deep copy under a new name (charged as a streaming block op)."""
+        out = DistributedMultiVector(self.cluster, self.partition, name,
+                                     self.n_cols)
         for rank in range(self.partition.n_parts):
-            node = self.cluster.node(rank)
-            if node.is_alive and self._key() in node.memory:
-                out.append(rank)
+            out.set_block(rank, self.get_block(rank).copy())
+        self._charge_block_op(1.0)
         return out
 
-    def delete(self) -> None:
-        """Remove this multi-vector's blocks from all alive nodes."""
+    def fill(self, value: float) -> "DistributedMultiVector":
+        """Set every element (all columns) to *value*."""
+        for rank in range(self.partition.n_parts):
+            self.get_block(rank)[:] = value
+        self._charge_block_op(1.0)
+        return self
+
+    def scale(self, alpha: Coefficient) -> "DistributedMultiVector":
+        """In-place ``self *= alpha`` (scalar or per-column)."""
+        alpha = self._coefficient(alpha)
+        for rank in range(self.partition.n_parts):
+            self.get_block(rank)[:] *= alpha
+        self._charge_block_op(1.0)
+        return self
+
+    def axpy(self, alpha: Coefficient,
+             x: "DistributedMultiVector") -> "DistributedMultiVector":
+        """In-place ``self[:, j] += alpha_j * x[:, j]`` (scalar or per-column)."""
+        self._check_compatible(x)
+        alpha = self._coefficient(alpha)
+        for rank in range(self.partition.n_parts):
+            self.get_block(rank)[:] += alpha * x.get_block(rank)
+        self._charge_block_op(2.0)
+        return self
+
+    def aypx(self, alpha: Coefficient,
+             x: "DistributedMultiVector") -> "DistributedMultiVector":
+        """In-place ``self[:, j] = x[:, j] + alpha_j * self[:, j]``.
+
+        The block-PCG search-direction update ``P = Z + P diag(beta)``.
+        """
+        self._check_compatible(x)
+        alpha = self._coefficient(alpha)
+        for rank in range(self.partition.n_parts):
+            block = self.get_block(rank)
+            block[:] = x.get_block(rank) + alpha * block
+        self._charge_block_op(2.0)
+        return self
+
+    def assign(self, other: "DistributedMultiVector") -> "DistributedMultiVector":
+        """In-place copy of *other*'s values into this multi-vector."""
+        self._check_compatible(other)
+        for rank in range(self.partition.n_parts):
+            self.get_block(rank)[:] = other.get_block(rank)
+        self._charge_block_op(1.0)
+        return self
+
+    # -- batched reductions --------------------------------------------------
+    def dots(self, other: "DistributedMultiVector", *,
+             alive_only: bool = False) -> np.ndarray:
+        """The ``k`` per-column dot products through **one** batched allreduce.
+
+        Column ``j`` of the result is bit-identical to
+        ``DistributedVector.dot`` on the ``j``-th columns (each column is
+        gathered into a contiguous buffer before the local dot, so the same
+        BLAS kernel runs on the same data), and the per-rank partial sums are
+        reduced in the same rank order.  The collective ships all ``k``
+        partial dots in one payload: message count of a scalar allreduce,
+        ``k``-fold volume (cf. Sec. 4.2's latency-dominated reductions).
+        """
+        self._check_compatible(other)
+        contributions: Dict[int, np.ndarray] = {}
         for rank in range(self.partition.n_parts):
             node = self.cluster.node(rank)
-            if node.is_alive and self._key() in node.memory:
-                del node.memory[self._key()]
+            if alive_only and not node.is_alive:
+                continue
+            # Row-contiguous transposed copies so each column dot runs the
+            # same contiguous-BLAS path as the single-vector ``dot``.
+            mine = np.ascontiguousarray(self.get_block(rank).T)
+            theirs = (mine if other is self
+                      else np.ascontiguousarray(other.get_block(rank).T))
+            contributions[rank] = np.array(
+                [mine[j] @ theirs[j] for j in range(self.n_cols)]
+            )
+        self._charge_block_op(2.0, n_rows=participating_max_block_size(
+            self.partition, contributions) if alive_only else None)
+        total = self.cluster.comm.allreduce_sum(contributions,
+                                                alive_only=alive_only)
+        return np.asarray(total, dtype=np.float64)
+
+    def gram(self, other: "DistributedMultiVector", *,
+             alive_only: bool = False) -> np.ndarray:
+        """The ``k x k`` block Gram matrix ``self^T other`` in one allreduce.
+
+        Each rank contributes its local ``(k, k)`` product; the collective
+        ships ``k^2`` scalars in one payload per tree hop.  This is the
+        reduction genuine block-Krylov recurrences (block-CG with coupled
+        columns) consume; :class:`~repro.core.block_pcg.BlockPCG` only needs
+        the diagonal (see :meth:`dots`).  The local products use a dense
+        GEMM, so the diagonal may differ from :meth:`dots` in the last bits.
+        """
+        self._check_compatible(other)
+        contributions: Dict[int, np.ndarray] = {}
+        for rank in range(self.partition.n_parts):
+            node = self.cluster.node(rank)
+            if alive_only and not node.is_alive:
+                continue
+            block = self.get_block(rank)
+            contributions[rank] = block.T @ other.get_block(rank)
+        # 2k flops per stored element: each of the k^2 entries is a length
+        # n_i dot, i.e. the streaming charge of k passes over the block.
+        self._charge_block_op(2.0 * self.n_cols,
+                              n_rows=participating_max_block_size(
+                                  self.partition, contributions)
+                              if alive_only else None)
+        total = self.cluster.comm.allreduce_sum(contributions,
+                                                alive_only=alive_only)
+        return np.asarray(total, dtype=np.float64)
+
+    def norms2(self, *, alive_only: bool = False) -> np.ndarray:
+        """Per-column Euclidean norms (one batched allreduce via :meth:`dots`).
+
+        NaN reductions propagate per column exactly like
+        :meth:`DistributedVector.norm2`; only tiny negative rounding residue
+        is clamped.
+        """
+        values = self.dots(self, alive_only=alive_only)
+        out = np.empty(self.n_cols)
+        for j, value in enumerate(values):
+            out[j] = (float("nan") if np.isnan(value)
+                      else float(np.sqrt(max(value, 0.0))))
+        return out
+
+    # -- validation ----------------------------------------------------------
+    def _check_column(self, j: int) -> int:
+        j = int(j)
+        if not 0 <= j < self.n_cols:
+            raise IndexError(f"column {j} out of range for k={self.n_cols}")
+        return j
+
+    def _check_compatible(self, other: "DistributedMultiVector") -> None:
+        if other.cluster is not self.cluster:
+            raise ValueError("multi-vectors live on different clusters")
+        if not self.partition.is_compatible_with(other.partition):
+            raise ValueError(
+                "multi-vectors have incompatible partitions: "
+                f"{self.partition} vs {other.partition}"
+            )
+        if other.n_cols != self.n_cols:
+            raise ValueError(
+                f"multi-vectors have different column counts: "
+                f"{self.n_cols} vs {other.n_cols}"
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (

@@ -14,20 +14,20 @@ the communicator's allreduce (which charges the collective's cost).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
 from ..cluster.cluster import VirtualCluster
 from ..cluster.cost_model import Phase
-from ..cluster.errors import NodeFailedError
+from .blockstore import NodeBlockStore, participating_max_block_size
 from .partition import BlockRowPartition
 
 #: Memory key prefix under which vector blocks are stored on each node.
 _VEC_KEY = "vec"
 
 
-class DistributedVector:
+class DistributedVector(NodeBlockStore):
     """A block-row distributed vector living in node-local memories."""
 
     def __init__(self, cluster: VirtualCluster, partition: BlockRowPartition,
@@ -85,20 +85,8 @@ class DistributedVector:
             )
         self.cluster.node(rank).memory[self._key()] = values
 
-    def has_block(self, rank: int) -> bool:
-        """True if *rank* is alive and holds a block of this vector."""
-        node = self.cluster.node(rank)
-        if not node.is_alive:
-            return False
-        return self._key() in node.memory
-
-    def available_ranks(self) -> List[int]:
-        """Ranks whose block is currently readable."""
-        return [r for r in range(self.partition.n_parts) if self.has_block(r)]
-
-    def lost_ranks(self) -> List[int]:
-        """Ranks whose block is unavailable (failed node or never written)."""
-        return [r for r in range(self.partition.n_parts) if not self.has_block(r)]
+    # ``has_block`` / ``available_ranks`` / ``lost_ranks`` / ``delete`` come
+    # from :class:`NodeBlockStore` (shared with ``DistributedMultiVector``).
 
     # -- global assembly (verification / recovery use) ---------------------------
     def to_global(self, *, allow_missing: bool = False,
@@ -110,23 +98,20 @@ class DistributedVector:
         explicit communication.  With ``allow_missing=True`` the blocks of
         failed nodes are replaced by ``fill_value`` instead of raising.
         """
-        out = np.full(self.partition.n, fill_value, dtype=np.float64)
-        for rank in range(self.partition.n_parts):
-            start, stop = self.partition.range_of(rank)
-            try:
-                out[start:stop] = self.get_block(rank)
-            except (NodeFailedError, KeyError):
-                if not allow_missing:
-                    raise
-        return out
+        return self._assemble(lambda block: block, (),
+                              allow_missing=allow_missing,
+                              fill_value=fill_value)
 
     # -- elementwise / BLAS-1 operations ----------------------------------------
     def _charge_vector_op(self, flops_per_element: float = 2.0,
-                          phase: str = Phase.VECTOR_COMPUTE) -> None:
+                          phase: str = Phase.VECTOR_COMPUTE,
+                          n_elements: Optional[int] = None) -> None:
         model = self.cluster.ledger.model
+        if n_elements is None:
+            n_elements = self.partition.max_block_size()
         self.cluster.ledger.add_time(
             phase,
-            model.vector_op_time(self.partition.max_block_size(), flops_per_element),
+            model.vector_op_time(n_elements, flops_per_element),
         )
 
     def copy(self, name: str) -> "DistributedVector":
@@ -199,7 +184,12 @@ class DistributedVector:
             contributions[rank] = float(
                 self.get_block(rank) @ other.get_block(rank)
             )
-        self._charge_vector_op(2.0)
+        # The local compute is bulk-synchronous: the slowest *participating*
+        # rank sets the pace.  On a shrunken communicator (alive_only) a dead
+        # rank contributes nothing, so the global max block size must not be
+        # charged when the largest rank happens to be the one that is down.
+        self._charge_vector_op(2.0, n_elements=participating_max_block_size(
+            self.partition, contributions) if alive_only else None)
         return float(
             self.cluster.comm.allreduce_sum(contributions, alive_only=alive_only)
         )
@@ -223,21 +213,24 @@ class DistributedVector:
         return float(np.linalg.norm(self.get_block(rank)))
 
     # -- maintenance ------------------------------------------------------------------
-    def delete(self) -> None:
-        """Remove this vector's blocks from all alive nodes."""
-        for rank in range(self.partition.n_parts):
-            node = self.cluster.node(rank)
-            if node.is_alive and self._key() in node.memory:
-                del node.memory[self._key()]
-
     def rename(self, new_name: str) -> "DistributedVector":
-        """Rename the vector (moves every block under the new key)."""
+        """Rename the vector (moves every block under the new key).
+
+        Failed nodes cannot take part in the move; any block still sitting
+        under either key on such a node predates the rename, so the stale
+        keys are invalidated (see :func:`swap_names` for the rationale).
+        """
         old_key = self._key()
         self.name = new_name
+        new_key = self._key()
         for rank in range(self.partition.n_parts):
             node = self.cluster.node(rank)
-            if node.is_alive and old_key in node.memory:
-                node.memory[self._key()] = node.memory.pop(old_key)
+            if not node.is_alive:
+                node.memory.invalidate(old_key)
+                node.memory.invalidate(new_key)
+                continue
+            if old_key in node.memory:
+                node.memory[new_key] = node.memory.pop(old_key)
         return self
 
     def _check_compatible(self, other: "DistributedVector") -> None:
@@ -260,14 +253,25 @@ def swap_names(a: DistributedVector, b: DistributedVector) -> None:
     """Swap the storage of two distributed vectors without copying data.
 
     Used by the solvers to rotate ``p^(j)`` / ``p^(j-1)`` style pairs cheaply.
+
+    Failed nodes cannot take part in the swap.  Their blocks were wiped at
+    failure time, but if anything is still (or again) stored under either
+    name -- e.g. a node that was wrongly declared dead and rejoins without a
+    scrub, or a restore that re-populates memory before the swap is replayed
+    -- those blocks predate the swap and would be associated with the wrong
+    vector under *both* names.  Instead of silently skipping such ranks, the
+    stale keys are invalidated in the raw store so a later restore cannot
+    expose pre-swap data; recovery must re-create the blocks explicitly.
     """
     if a.cluster is not b.cluster or not a.partition.is_compatible_with(b.partition):
         raise ValueError("can only swap vectors on the same cluster/partition")
     for rank in range(a.partition.n_parts):
         node = a.cluster.node(rank)
-        if not node.is_alive:
-            continue
         key_a, key_b = a._key(), b._key()
+        if not node.is_alive:
+            node.memory.invalidate(key_a)
+            node.memory.invalidate(key_b)
+            continue
         block_a = node.memory.get(key_a)
         block_b = node.memory.get(key_b)
         if block_b is not None:

@@ -228,6 +228,13 @@ def distributed_spmv_block(matrix: DistributedMatrix,
     per-call Python dispatch and the ghost gather are amortized over the
     columns.  Per-column results are bit-identical to ``k`` single-vector
     calls on the same execution path.
+
+    :class:`~repro.core.block_pcg.BlockPCG` drives this kernel once per
+    iteration and pairs it with batched ``k``-scalar allreduces
+    (:meth:`~repro.distributed.dmultivector.DistributedMultiVector.dots` /
+    :meth:`~repro.cluster.communicator.Communicator.allreduce_sum`), so both
+    latency-bound legs of the PCG iteration -- halo exchange and reductions
+    -- ship message counts independent of ``k``.
     """
     _check_operands(matrix, x, out)
     if x.n_cols != out.n_cols:

@@ -113,12 +113,23 @@ class BlockJacobiPreconditioner(Preconditioner):
 
     def apply_block(self, rank: int, residual_block: np.ndarray) -> np.ndarray:
         expected = self.block_partition.size_of(rank)
+        residual_block = np.asarray(residual_block, dtype=np.float64)
+        if residual_block.ndim == 2:
+            # Multi-RHS block: one inner solve per column through the
+            # generic column path (bit-identical per column to the 1-D
+            # path; a multi-RHS sparse-LU solve could round differently).
+            if residual_block.shape[0] != expected:
+                raise ValueError(
+                    f"block for rank {rank} must have {expected} rows, "
+                    f"got {residual_block.shape}"
+                )
+            return self._apply_block_columns(rank, residual_block)
         if residual_block.shape != (expected,):
             raise ValueError(
                 f"block for rank {rank} must have shape ({expected},), "
                 f"got {residual_block.shape}"
             )
-        return self._solvers[rank](np.asarray(residual_block, dtype=np.float64))
+        return self._solvers[rank](residual_block)
 
     @property
     def is_block_diagonal(self) -> bool:

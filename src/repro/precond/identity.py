@@ -21,6 +21,8 @@ class IdentityPreconditioner(Preconditioner):
         return np.array(residual, dtype=np.float64, copy=True)
 
     def apply_block(self, rank: int, residual_block: np.ndarray) -> np.ndarray:
+        # Shape-agnostic copy: works for (n_i,) blocks and (n_i, k)
+        # multi-RHS blocks alike.
         return np.array(residual_block, dtype=np.float64, copy=True)
 
     @property

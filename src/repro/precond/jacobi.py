@@ -40,7 +40,13 @@ class JacobiPreconditioner(Preconditioner):
         if self.partition is None:
             raise RuntimeError("apply_block requires a partition at setup()")
         start, stop = self.partition.range_of(rank)
-        return residual_block * self._inv_diag[start:stop]
+        inv = self._inv_diag[start:stop]
+        residual_block = np.asarray(residual_block, dtype=np.float64)
+        if residual_block.ndim == 2:
+            # Multi-RHS block: scale every column elementwise (bit-identical
+            # per column to the 1-D path).
+            return residual_block * inv[:, None]
+        return residual_block * inv
 
     @property
     def is_block_diagonal(self) -> bool:

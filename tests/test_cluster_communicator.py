@@ -94,6 +94,49 @@ class TestAllreduce:
         cluster.comm.allreduce_sum({r: 1.0 for r in range(4)})
         assert cluster.ledger.total_time([Phase.ALLREDUCE_COMM]) > 0
 
+    def test_batched_allreduce_message_count_independent_of_width(self, cluster):
+        """A k-wide reduction ships one message per tree hop (like a scalar
+        one); only the per-hop volume scales with k."""
+        stats = {}
+        for k in (1, 8):
+            before_msgs = cluster.ledger.total_messages([Phase.ALLREDUCE_COMM])
+            before_elems = cluster.ledger.total_elements([Phase.ALLREDUCE_COMM])
+            cluster.comm.allreduce_sum(
+                {r: np.ones(k) for r in range(4)}
+            )
+            stats[k] = (
+                cluster.ledger.total_messages([Phase.ALLREDUCE_COMM]) - before_msgs,
+                cluster.ledger.total_elements([Phase.ALLREDUCE_COMM]) - before_elems,
+            )
+        assert stats[1][0] == stats[8][0]
+        assert stats[8][1] == 8 * stats[1][1]
+
+    def test_batched_allreduce_time_matches_model(self, cluster):
+        k = 8
+        before = cluster.ledger.total_time([Phase.ALLREDUCE_COMM])
+        cluster.comm.allreduce_sum({r: np.ones(k) for r in range(4)})
+        delta = cluster.ledger.total_time([Phase.ALLREDUCE_COMM]) - before
+        assert delta == pytest.approx(
+            cluster.ledger.model.allreduce_time(4, k)
+        )
+
+    def test_batched_allreduce_sums_in_rank_order(self, cluster):
+        """Each component accumulates exactly like the scalar reduction."""
+        rng = np.random.default_rng(0)
+        payloads = {r: rng.standard_normal(5) for r in range(4)}
+        total = cluster.comm.allreduce_sum(payloads)
+        for j in range(5):
+            scalar = cluster.comm.allreduce_sum(
+                {r: float(payloads[r][j]) for r in range(4)}
+            )
+            assert total[j] == scalar
+
+    def test_mismatched_contribution_sizes_raise(self, cluster):
+        contributions = {0: np.ones(3), 1: np.ones(3), 2: np.ones(2),
+                         3: np.ones(3)}
+        with pytest.raises(CommunicationError):
+            cluster.comm.allreduce_sum(contributions)
+
 
 class TestBroadcastGather:
     def test_bcast_reaches_all(self, cluster):

@@ -1,0 +1,286 @@
+"""Tests for the lock-step multi-RHS block PCG solver.
+
+Acceptance contract of the block-Krylov subsystem: per-column iterates and
+residual histories bit-identical to ``k`` sequential ``DistributedPCG``
+solves on the same execution path, allreduce *message* counts independent of
+``k`` with volume scaling with ``k``, exact charge equality with the
+single-vector solver at ``k = 1``, and column freezing that stops a
+column's history exactly where its sequential solve stopped.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster import MachineModel, NodeFailedError, VirtualCluster
+from repro.cluster.cost_model import Phase
+from repro.core import BlockPCG, DistributedPCG
+from repro.distributed import (
+    BlockRowPartition,
+    CommunicationContext,
+    DistributedMatrix,
+    DistributedMultiVector,
+    DistributedVector,
+)
+from repro.matrices import poisson_2d
+from repro.precond import make_preconditioner
+
+N_NODES = 4
+
+
+def make_problem(n_grid=12, seed=0, k=4, precond_name="block_jacobi"):
+    """Fresh cluster/matrix/context/preconditioner and a random rhs block."""
+    a = poisson_2d(n_grid)
+    n = a.shape[0]
+    partition = BlockRowPartition(n, N_NODES)
+    cluster = VirtualCluster(N_NODES, machine=MachineModel(jitter_rel_std=0.0))
+    dist = DistributedMatrix.from_global(cluster, partition, "A", a)
+    context = CommunicationContext.from_matrix(dist)
+    precond = make_preconditioner(precond_name)
+    precond.setup(a, partition)
+    rhs_global = np.random.default_rng(seed).standard_normal((n, k))
+    return a, cluster, partition, dist, context, precond, rhs_global
+
+
+def sequential_solves(a, partition, rhs_global, precond_name, **kwargs):
+    """One fresh DistributedPCG solve per column (independent clusters)."""
+    results = []
+    for j in range(rhs_global.shape[1]):
+        cluster = VirtualCluster(N_NODES,
+                                 machine=MachineModel(jitter_rel_std=0.0))
+        dist = DistributedMatrix.from_global(cluster, partition, "A", a)
+        context = CommunicationContext.from_matrix(dist)
+        precond = make_preconditioner(precond_name)
+        precond.setup(a, partition)
+        rhs = DistributedVector.from_global(cluster, partition, "b",
+                                            rhs_global[:, j])
+        results.append(
+            DistributedPCG(dist, rhs, precond, context=context,
+                           **kwargs).solve()
+        )
+    return results
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("precond_name", ["identity", "jacobi",
+                                              "block_jacobi"])
+    def test_bit_identical_to_sequential_solves(self, precond_name):
+        a, cluster, partition, dist, context, precond, rhs_global = \
+            make_problem(precond_name=precond_name)
+        rhs = DistributedMultiVector.from_global(cluster, partition, "B",
+                                                 rhs_global)
+        block = BlockPCG(dist, rhs, precond, rtol=1e-8, context=context).solve()
+        seq = sequential_solves(a, partition, rhs_global, precond_name,
+                                rtol=1e-8)
+        for j, result in enumerate(seq):
+            assert block.iterations[j] == result.iterations
+            assert block.converged[j] == result.converged
+            assert block.residual_histories[j] == result.residual_norms
+            assert np.array_equal(block.x[:, j], result.x)
+
+    def test_bit_identical_with_overlap_spmv(self):
+        a, cluster, partition, dist, context, precond, rhs_global = \
+            make_problem(seed=1)
+        rhs = DistributedMultiVector.from_global(cluster, partition, "B",
+                                                 rhs_global)
+        block = BlockPCG(dist, rhs, precond, rtol=1e-8, context=context,
+                         overlap_spmv=True).solve()
+        seq = sequential_solves(a, partition, rhs_global, "block_jacobi",
+                                rtol=1e-8, overlap_spmv=True)
+        for j, result in enumerate(seq):
+            assert block.residual_histories[j] == result.residual_norms
+            assert np.array_equal(block.x[:, j], result.x)
+
+    def test_column_freezing_stops_history_where_sequential_stops(self):
+        """Columns converging at different iterations freeze independently;
+        a column converged at setup runs zero iterations."""
+        a, cluster, partition, dist, context, precond, rhs_global = \
+            make_problem(seed=2, k=3)
+        # Column 0 is tiny: with atol above its r0 norm it converges at
+        # iteration 0 while the others iterate.
+        rhs_global[:, 0] *= 1e-14
+        atol = 1e-10
+        rhs = DistributedMultiVector.from_global(cluster, partition, "B",
+                                                 rhs_global)
+        block = BlockPCG(dist, rhs, precond, rtol=1e-8, atol=atol,
+                         context=context).solve()
+        seq = sequential_solves(a, partition, rhs_global, "block_jacobi",
+                                rtol=1e-8, atol=atol)
+        assert block.iterations[0] == 0
+        assert len(block.residual_histories[0]) == 1
+        assert block.converged[0]
+        iteration_counts = {result.iterations for result in seq}
+        assert len(iteration_counts) > 1, "columns should converge unevenly"
+        for j, result in enumerate(seq):
+            assert block.iterations[j] == result.iterations
+            assert block.residual_histories[j] == result.residual_norms
+            assert np.array_equal(block.x[:, j], result.x)
+
+    def test_solves_the_systems(self):
+        a, cluster, partition, dist, context, precond, rhs_global = \
+            make_problem(seed=3)
+        rhs = DistributedMultiVector.from_global(cluster, partition, "B",
+                                                 rhs_global)
+        result = BlockPCG(dist, rhs, precond, rtol=1e-8,
+                          context=context).solve()
+        assert result.all_converged
+        for j in range(rhs_global.shape[1]):
+            rel = result.true_residual_norms[j] / \
+                np.linalg.norm(rhs_global[:, j])
+            assert rel < 1e-7
+
+    def test_initial_guess_block_matches_sequential(self):
+        a, cluster, partition, dist, context, precond, rhs_global = \
+            make_problem(seed=4, k=2)
+        rhs = DistributedMultiVector.from_global(cluster, partition, "B",
+                                                 rhs_global)
+        x0 = np.random.default_rng(40).standard_normal(rhs_global.shape)
+        block = BlockPCG(dist, rhs, precond, rtol=1e-8,
+                         context=context).solve(x0)
+        for j in range(rhs_global.shape[1]):
+            cluster_j = VirtualCluster(
+                N_NODES, machine=MachineModel(jitter_rel_std=0.0))
+            dist_j = DistributedMatrix.from_global(cluster_j, partition, "A", a)
+            context_j = CommunicationContext.from_matrix(dist_j)
+            precond_j = make_preconditioner("block_jacobi")
+            precond_j.setup(a, partition)
+            rhs_j = DistributedVector.from_global(cluster_j, partition, "b",
+                                                  rhs_global[:, j])
+            seq = DistributedPCG(dist_j, rhs_j, precond_j, rtol=1e-8,
+                                 context=context_j).solve(x0[:, j].copy())
+            assert block.residual_histories[j] == seq.residual_norms
+            assert np.array_equal(block.x[:, j], seq.x)
+
+
+class TestCharges:
+    def test_k1_charges_identical_to_distributed_pcg(self):
+        """At k = 1 the block solver is charge-identical to DistributedPCG
+        (same ops, same batched-reduction sizes, same order)."""
+        a, cluster, partition, dist, context, precond, rhs_global = \
+            make_problem(seed=5, k=1)
+        rhs = DistributedMultiVector.from_global(cluster, partition, "B",
+                                                 rhs_global)
+        block = BlockPCG(dist, rhs, precond, rtol=1e-8, context=context).solve()
+        seq = sequential_solves(a, partition, rhs_global, "block_jacobi",
+                                rtol=1e-8)[0]
+        assert block.residual_histories[0] == seq.residual_norms
+        assert block.time_breakdown == seq.time_breakdown
+        assert block.simulated_time == seq.simulated_time
+
+    def fixed_iteration_run(self, k, iterations=5, seed=6):
+        """A run of exactly *iterations* lock-step iterations (rtol=0)."""
+        a, cluster, partition, dist, context, precond, rhs_global = \
+            make_problem(seed=seed, k=k)
+        rhs = DistributedMultiVector.from_global(cluster, partition, "B",
+                                                 rhs_global)
+        result = BlockPCG(dist, rhs, precond, rtol=0.0, atol=0.0,
+                          max_iterations=iterations, context=context).solve()
+        assert result.global_iterations == iterations
+        assert result.info["n_reductions"] == 2 + 3 * iterations
+        return cluster, result
+
+    def test_allreduce_messages_independent_of_k(self):
+        iterations = 5
+        levels = math.ceil(math.log2(N_NODES))
+        # 2 setup reductions (rz, ||r0||) + 3 per iteration, each one
+        # collective of 2*levels*N messages whatever the column count.
+        expected = (2 + 3 * iterations) * 2 * levels * N_NODES
+        stats = {}
+        for k in (1, 4):
+            cluster, _ = self.fixed_iteration_run(k, iterations)
+            stats[k] = (
+                cluster.ledger.messages[Phase.ALLREDUCE_COMM],
+                cluster.ledger.elements[Phase.ALLREDUCE_COMM],
+                cluster.ledger.times[Phase.ALLREDUCE_COMM],
+            )
+        assert stats[1][0] == stats[4][0] == expected
+        assert stats[4][1] == 4 * stats[1][1]
+        # Latency amortization: 4 columns cost far less than 4x the
+        # single-column allreduce time (only the volume term scales).
+        assert stats[4][2] < 1.1 * stats[1][2]
+
+    def test_compute_charges_scale_linearly_with_k(self):
+        iterations = 5
+        per_k = {}
+        for k in (1, 4):
+            cluster, _ = self.fixed_iteration_run(k, iterations)
+            per_k[k] = {
+                phase: cluster.ledger.times[phase]
+                for phase in (Phase.VECTOR_COMPUTE, Phase.SPMV_COMPUTE,
+                              Phase.PRECOND_COMPUTE)
+            }
+        for phase, t1 in per_k[1].items():
+            assert per_k[4][phase] == pytest.approx(4 * t1)
+
+    def test_halo_messages_independent_of_k(self):
+        iterations = 5
+        per_k = {}
+        for k in (1, 4):
+            cluster, _ = self.fixed_iteration_run(k, iterations)
+            per_k[k] = (cluster.ledger.messages[Phase.HALO_COMM],
+                        cluster.ledger.elements[Phase.HALO_COMM])
+        assert per_k[1][0] == per_k[4][0]
+        assert per_k[4][1] == 4 * per_k[1][1]
+
+
+class TestValidation:
+    def test_rejects_non_block_diagonal_preconditioner(self):
+        a, cluster, partition, dist, context, _, rhs_global = make_problem()
+        rhs = DistributedMultiVector.from_global(cluster, partition, "B",
+                                                 rhs_global)
+        ssor = make_preconditioner("ssor")
+        ssor.setup(a, partition)
+        with pytest.raises(ValueError):
+            BlockPCG(dist, rhs, ssor, context=context)
+
+    def test_rejects_incompatible_partitions(self):
+        a, cluster, partition, dist, context, precond, _ = make_problem()
+        other_cluster = VirtualCluster(
+            N_NODES, machine=MachineModel(jitter_rel_std=0.0))
+        other_partition = BlockRowPartition(partition.n + 1, N_NODES)
+        rhs = DistributedMultiVector.zeros(other_cluster, other_partition,
+                                           "B", 2)
+        with pytest.raises(ValueError):
+            BlockPCG(dist, rhs, precond)
+
+    def test_node_failure_raises_out_of_solve(self):
+        """BlockPCG has no recovery; a failure mid-setup must surface."""
+        a, cluster, partition, dist, context, precond, rhs_global = \
+            make_problem(seed=7, k=2)
+        rhs = DistributedMultiVector.from_global(cluster, partition, "B",
+                                                 rhs_global)
+        solver = BlockPCG(dist, rhs, precond, rtol=1e-8, context=context)
+        cluster.fail_nodes([1])
+        with pytest.raises(NodeFailedError):
+            solver.solve()
+
+    def test_breakdown_freezes_column(self):
+        """An indefinite system drives p^T A p <= 0: the column freezes
+        (no NaN contamination of the block) instead of aborting the rest."""
+        import scipy.sparse as sp
+
+        n = 16
+        diag = np.ones(n)
+        diag[::2] = -1.0  # indefinite
+        a = sp.diags(diag, format="csr")
+        partition = BlockRowPartition(n, N_NODES)
+        cluster = VirtualCluster(N_NODES,
+                                 machine=MachineModel(jitter_rel_std=0.0))
+        dist = DistributedMatrix.from_global(cluster, partition, "A", a)
+        context = CommunicationContext.from_matrix(dist)
+        precond = make_preconditioner("identity")
+        precond.setup(a, partition)
+        rng = np.random.default_rng(8)
+        rhs_global = rng.standard_normal((n, 2))
+        rhs = DistributedMultiVector.from_global(cluster, partition, "B",
+                                                 rhs_global)
+        result = BlockPCG(dist, rhs, precond, rtol=1e-8, max_iterations=50,
+                          context=context).solve()
+        assert result.info["breakdown_columns"], "expected a CG breakdown"
+        assert np.all(np.isfinite(result.x))
+        # The reported reduction count stays consistent with the ledger even
+        # when a breakdown aborts an iteration after its first reduction.
+        levels = math.ceil(math.log2(N_NODES))
+        assert cluster.ledger.messages[Phase.ALLREDUCE_COMM] == \
+            result.info["n_reductions"] * 2 * levels * N_NODES

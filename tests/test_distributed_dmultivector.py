@@ -1,0 +1,337 @@
+"""Tests for distributed multi-vectors (block BLAS-1, batched reductions).
+
+The load-bearing contract: every block operation is per-column bit-identical
+to the corresponding :class:`DistributedVector` operation, failure semantics
+propagate identically, the batched reductions go through **one** allreduce
+(message count independent of ``k``, volume scaling with ``k``), and the
+ledger charge at ``k = 1`` equals the single-vector charge exactly.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster import MachineModel, NodeFailedError, VirtualCluster
+from repro.cluster.cost_model import Phase
+from repro.distributed import (
+    BlockRowPartition,
+    DistributedMultiVector,
+    DistributedVector,
+)
+
+N_NODES = 4
+N = 21  # uneven blocks: sizes (6, 5, 5, 5)
+K = 3
+
+
+def make_cluster():
+    return VirtualCluster(N_NODES, machine=MachineModel(jitter_rel_std=0.0))
+
+
+@pytest.fixture
+def setup():
+    cluster = make_cluster()
+    partition = BlockRowPartition(N, N_NODES)
+    return cluster, partition
+
+
+def make_pair(cluster, partition, seed=0, k=K):
+    """A multi-vector and its per-column DistributedVector twins."""
+    rng = np.random.default_rng(seed)
+    values = rng.standard_normal((N, k))
+    mvec = DistributedMultiVector.from_global(cluster, partition, f"mv{seed}",
+                                              values)
+    columns = [
+        DistributedVector.from_global(cluster, partition, f"v{seed}.{j}",
+                                      values[:, j])
+        for j in range(k)
+    ]
+    return mvec, columns, values
+
+
+class TestConstructionAndViews:
+    def test_from_global_roundtrip(self, setup):
+        cluster, partition = setup
+        mvec, _, values = make_pair(cluster, partition)
+        assert np.array_equal(mvec.to_global(), values)
+
+    def test_from_columns(self, setup):
+        cluster, partition = setup
+        _, columns, values = make_pair(cluster, partition)
+        mvec = DistributedMultiVector.from_columns(cluster, partition, "mc",
+                                                   columns)
+        assert np.array_equal(mvec.to_global(), values)
+
+    def test_column_gathers_single_column(self, setup):
+        cluster, partition = setup
+        mvec, _, values = make_pair(cluster, partition)
+        for j in range(K):
+            assert np.array_equal(mvec.column(j), values[:, j])
+
+    def test_column_out_of_range(self, setup):
+        cluster, partition = setup
+        mvec, _, _ = make_pair(cluster, partition)
+        with pytest.raises(IndexError):
+            mvec.column(K)
+
+    def test_column_raises_on_failed_node(self, setup):
+        cluster, partition = setup
+        mvec, _, _ = make_pair(cluster, partition)
+        cluster.fail_nodes([1])
+        with pytest.raises(NodeFailedError):
+            mvec.column(0)
+
+    def test_shared_bookkeeping_helpers(self, setup):
+        cluster, partition = setup
+        mvec, _, _ = make_pair(cluster, partition)
+        assert mvec.available_ranks() == [0, 1, 2, 3]
+        cluster.fail_nodes([2])
+        assert mvec.available_ranks() == [0, 1, 3]
+        assert mvec.lost_ranks() == [2]
+        assert not mvec.has_block(2)
+        mvec.delete()
+        assert mvec.available_ranks() == []
+
+    def test_to_global_allow_missing(self, setup):
+        cluster, partition = setup
+        mvec, _, values = make_pair(cluster, partition)
+        cluster.fail_nodes([0])
+        out = mvec.to_global(allow_missing=True, fill_value=0.0)
+        assert np.allclose(out[partition.slice_of(0)], 0.0)
+        start, stop = partition.range_of(1)
+        assert np.array_equal(out[start:stop], values[start:stop])
+
+
+class TestBlockOpEquivalence:
+    """Each block op must be bit-identical per column to the vector op."""
+
+    def assert_columns_identical(self, mvec, columns):
+        for j, vec in enumerate(columns):
+            assert np.array_equal(mvec.column(j), vec.to_global()), \
+                f"column {j} diverged from the single-vector path"
+
+    def test_copy(self, setup):
+        cluster, partition = setup
+        mvec, columns, _ = make_pair(cluster, partition)
+        out = mvec.copy("mcopy")
+        outs = [vec.copy(f"c{j}") for j, vec in enumerate(columns)]
+        self.assert_columns_identical(out, outs)
+
+    def test_fill(self, setup):
+        cluster, partition = setup
+        mvec, columns, _ = make_pair(cluster, partition)
+        mvec.fill(2.5)
+        for vec in columns:
+            vec.fill(2.5)
+        self.assert_columns_identical(mvec, columns)
+
+    def test_scale_scalar_and_per_column(self, setup):
+        cluster, partition = setup
+        mvec, columns, _ = make_pair(cluster, partition)
+        mvec.scale(0.37)
+        for vec in columns:
+            vec.scale(0.37)
+        self.assert_columns_identical(mvec, columns)
+        alphas = np.array([1.5, -0.25, 3.0])
+        mvec.scale(alphas)
+        for j, vec in enumerate(columns):
+            vec.scale(float(alphas[j]))
+        self.assert_columns_identical(mvec, columns)
+
+    def test_axpy_per_column(self, setup):
+        cluster, partition = setup
+        mvec, columns, _ = make_pair(cluster, partition, seed=1)
+        other, other_cols, _ = make_pair(cluster, partition, seed=2)
+        alphas = np.array([0.1, -2.7, 1.0])
+        mvec.axpy(alphas, other)
+        for j, vec in enumerate(columns):
+            vec.axpy(float(alphas[j]), other_cols[j])
+        self.assert_columns_identical(mvec, columns)
+
+    def test_aypx_per_column(self, setup):
+        cluster, partition = setup
+        mvec, columns, _ = make_pair(cluster, partition, seed=3)
+        other, other_cols, _ = make_pair(cluster, partition, seed=4)
+        alphas = np.array([-0.9, 0.0, 2.2])
+        mvec.aypx(alphas, other)
+        for j, vec in enumerate(columns):
+            vec.aypx(float(alphas[j]), other_cols[j])
+        self.assert_columns_identical(mvec, columns)
+
+    def test_assign(self, setup):
+        cluster, partition = setup
+        mvec, columns, _ = make_pair(cluster, partition, seed=5)
+        other, other_cols, _ = make_pair(cluster, partition, seed=6)
+        mvec.assign(other)
+        for j, vec in enumerate(columns):
+            vec.assign(other_cols[j])
+        self.assert_columns_identical(mvec, columns)
+
+    def test_dots_bit_identical_to_column_dots(self, setup):
+        cluster, partition = setup
+        mvec, columns, _ = make_pair(cluster, partition, seed=7)
+        other, other_cols, _ = make_pair(cluster, partition, seed=8)
+        dots = mvec.dots(other)
+        for j in range(K):
+            assert dots[j] == columns[j].dot(other_cols[j])
+
+    def test_norms2_bit_identical(self, setup):
+        cluster, partition = setup
+        mvec, columns, _ = make_pair(cluster, partition, seed=9)
+        norms = mvec.norms2()
+        for j, vec in enumerate(columns):
+            assert norms[j] == vec.norm2()
+
+    def test_norms2_propagates_nan_per_column(self, setup):
+        cluster, partition = setup
+        mvec, _, _ = make_pair(cluster, partition)
+        mvec.get_block(1)[0, 1] = np.nan
+        norms = mvec.norms2()
+        assert not np.isnan(norms[0])
+        assert np.isnan(norms[1])
+        assert not np.isnan(norms[2])
+
+    def test_gram(self, setup):
+        cluster, partition = setup
+        mvec, _, values = make_pair(cluster, partition, seed=10)
+        other, _, other_values = make_pair(cluster, partition, seed=11)
+        gram = mvec.gram(other)
+        assert gram.shape == (K, K)
+        assert np.allclose(gram, values.T @ other_values, rtol=1e-13)
+
+    def test_coefficient_shape_validated(self, setup):
+        cluster, partition = setup
+        mvec, _, _ = make_pair(cluster, partition)
+        with pytest.raises(ValueError):
+            mvec.scale(np.ones(K + 1))
+
+    def test_mismatched_columns_rejected(self, setup):
+        cluster, partition = setup
+        mvec, _, _ = make_pair(cluster, partition, k=K)
+        other, _, _ = make_pair(cluster, partition, seed=12, k=K + 1)
+        with pytest.raises(ValueError):
+            mvec.dots(other)
+
+
+class TestFailureSemantics:
+    @pytest.mark.parametrize("op", [
+        lambda m, o: m.copy("tmp"),
+        lambda m, o: m.fill(1.0),
+        lambda m, o: m.scale(2.0),
+        lambda m, o: m.axpy(1.0, o),
+        lambda m, o: m.aypx(1.0, o),
+        lambda m, o: m.assign(o),
+        lambda m, o: m.dots(o),
+        lambda m, o: m.gram(o),
+        lambda m, o: m.norms2(),
+    ])
+    def test_ops_raise_on_failed_node(self, setup, op):
+        cluster, partition = setup
+        mvec, _, _ = make_pair(cluster, partition, seed=13)
+        other, _, _ = make_pair(cluster, partition, seed=14)
+        cluster.fail_nodes([2])
+        with pytest.raises(NodeFailedError):
+            op(mvec, other)
+
+    def test_dots_alive_only_skips_dead_ranks(self, setup):
+        cluster, partition = setup
+        mvec = DistributedMultiVector.from_global(
+            cluster, partition, "m", np.ones((N, K)))
+        cluster.fail_nodes([3])
+        dots = mvec.dots(mvec, alive_only=True)
+        # 16 surviving elements per column (ranks 0-2 own 6+5+5 rows).
+        assert np.allclose(dots, 16.0)
+
+    def test_dots_alive_only_charges_participating_max(self, setup):
+        """Mirror of the DistributedVector.dot charge bugfix: the dead
+        largest rank must not set the local-compute pace."""
+        cluster, partition = setup
+        mvec = DistributedMultiVector.from_global(
+            cluster, partition, "m", np.ones((N, K)))
+        cluster.fail_nodes([0])  # rank 0 owns the largest block (6 rows)
+        before = cluster.ledger.times.get(Phase.VECTOR_COMPUTE, 0.0)
+        mvec.dots(mvec, alive_only=True)
+        delta = cluster.ledger.times[Phase.VECTOR_COMPUTE] - before
+        model = cluster.ledger.model
+        assert delta == pytest.approx(model.vector_op_time(5 * K, 2.0))
+
+
+class TestBatchedReductionCharges:
+    def allreduce_stats(self, cluster, fn):
+        msgs0 = cluster.ledger.messages.get(Phase.ALLREDUCE_COMM, 0)
+        elems0 = cluster.ledger.elements.get(Phase.ALLREDUCE_COMM, 0)
+        time0 = cluster.ledger.times.get(Phase.ALLREDUCE_COMM, 0.0)
+        fn()
+        return (
+            cluster.ledger.messages[Phase.ALLREDUCE_COMM] - msgs0,
+            cluster.ledger.elements[Phase.ALLREDUCE_COMM] - elems0,
+            cluster.ledger.times[Phase.ALLREDUCE_COMM] - time0,
+        )
+
+    def test_dots_is_one_allreduce(self, setup):
+        """Message count independent of k; volume and time scale with k."""
+        cluster, partition = setup
+        levels = math.ceil(math.log2(N_NODES))
+        expected_msgs = 2 * levels * N_NODES
+        per_k = {}
+        for k in (1, K):
+            mvec, _, _ = make_pair(cluster, partition, seed=15, k=k)
+            msgs, elems, time = self.allreduce_stats(
+                cluster, lambda m=mvec: m.dots(m))
+            per_k[k] = (msgs, elems, time)
+        assert per_k[1][0] == per_k[K][0] == expected_msgs
+        assert per_k[K][1] == K * per_k[1][1]
+        model = cluster.ledger.model
+        assert per_k[K][2] == pytest.approx(model.allreduce_time(N_NODES, K))
+
+    def test_gram_ships_k_squared_volume(self, setup):
+        cluster, partition = setup
+        levels = math.ceil(math.log2(N_NODES))
+        mvec, _, _ = make_pair(cluster, partition, seed=16)
+        msgs, elems, time = self.allreduce_stats(
+            cluster, lambda: mvec.gram(mvec))
+        assert msgs == 2 * levels * N_NODES
+        assert elems == 2 * levels * N_NODES * K * K
+        model = cluster.ledger.model
+        assert time == pytest.approx(model.allreduce_time(N_NODES, K * K))
+
+
+class TestChargeEqualityAtK1:
+    """At k = 1 every block op must charge exactly the single-vector cost."""
+
+    OPS = {
+        "copy": (lambda m, o: m.copy("mc"), lambda v, w: v.copy("vc")),
+        "fill": (lambda m, o: m.fill(0.5), lambda v, w: v.fill(0.5)),
+        "scale": (lambda m, o: m.scale(1.5), lambda v, w: v.scale(1.5)),
+        "axpy": (lambda m, o: m.axpy(2.0, o), lambda v, w: v.axpy(2.0, w)),
+        "aypx": (lambda m, o: m.aypx(2.0, o), lambda v, w: v.aypx(2.0, w)),
+        "assign": (lambda m, o: m.assign(o), lambda v, w: v.assign(w)),
+        "dots": (lambda m, o: m.dots(o), lambda v, w: v.dot(w)),
+        "norms2": (lambda m, o: m.norms2(), lambda v, w: v.norm2()),
+    }
+
+    @pytest.mark.parametrize("name", sorted(OPS))
+    def test_k1_charges_match(self, name):
+        block_op, vector_op = self.OPS[name]
+        partition = BlockRowPartition(N, N_NODES)
+        rng = np.random.default_rng(17)
+        values = rng.standard_normal(N)
+        other_values = rng.standard_normal(N)
+
+        cluster_m = make_cluster()
+        mvec = DistributedMultiVector.from_global(
+            cluster_m, partition, "m", values[:, None])
+        other_m = DistributedMultiVector.from_global(
+            cluster_m, partition, "o", other_values[:, None])
+        block_op(mvec, other_m)
+
+        cluster_v = make_cluster()
+        vec = DistributedVector.from_global(cluster_v, partition, "v", values)
+        other_v = DistributedVector.from_global(cluster_v, partition, "w",
+                                                other_values)
+        vector_op(vec, other_v)
+
+        assert cluster_m.ledger.times == cluster_v.ledger.times
+        assert cluster_m.ledger.messages == cluster_v.ledger.messages
+        assert cluster_m.ledger.elements == cluster_v.ledger.elements

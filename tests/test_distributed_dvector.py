@@ -4,6 +4,8 @@ import numpy as np
 import pytest
 
 from repro.cluster import MachineModel, NodeFailedError, VirtualCluster
+from repro.cluster.cost_model import Phase
+from repro.cluster.node import NodeStatus
 from repro.distributed import BlockRowPartition, DistributedVector, swap_names
 
 
@@ -174,6 +176,35 @@ class TestFailureSemantics:
         cluster.fail_nodes([3])
         assert vec.dot(vec, alive_only=True) == pytest.approx(15.0)
 
+    def test_dot_alive_only_charges_participating_max_block(self):
+        """Regression: the local-compute charge must be paced by the slowest
+        *participating* rank.  With the largest rank dead on a shrunken
+        communicator, its (larger) block must not set the charge."""
+        cluster = VirtualCluster(4, machine=MachineModel(jitter_rel_std=0.0))
+        partition = BlockRowPartition(21, 4)  # block sizes (6, 5, 5, 5)
+        vec = DistributedVector.from_global(cluster, partition, "v",
+                                            np.ones(21))
+        cluster.fail_nodes([0])  # rank 0 owns the largest block
+        before = cluster.ledger.times.get(Phase.VECTOR_COMPUTE, 0.0)
+        vec.dot(vec, alive_only=True)
+        delta = cluster.ledger.times[Phase.VECTOR_COMPUTE] - before
+        model = cluster.ledger.model
+        assert delta == pytest.approx(model.vector_op_time(5, 2.0))
+        assert delta < model.vector_op_time(6, 2.0)
+
+    def test_dot_alive_only_charge_unchanged_when_largest_rank_alive(self):
+        """Failing a non-largest rank keeps the max-block charge."""
+        cluster = VirtualCluster(4, machine=MachineModel(jitter_rel_std=0.0))
+        partition = BlockRowPartition(21, 4)
+        vec = DistributedVector.from_global(cluster, partition, "v",
+                                            np.ones(21))
+        cluster.fail_nodes([2])
+        before = cluster.ledger.times.get(Phase.VECTOR_COMPUTE, 0.0)
+        vec.dot(vec, alive_only=True)
+        delta = cluster.ledger.times[Phase.VECTOR_COMPUTE] - before
+        model = cluster.ledger.model
+        assert delta == pytest.approx(model.vector_op_time(6, 2.0))
+
 
 class TestMaintenance:
     def test_rename(self, setup):
@@ -196,3 +227,53 @@ class TestMaintenance:
         swap_names(a, b)
         assert np.allclose(a.to_global(), 0.0)
         assert np.allclose(b.to_global(), 1.0)
+
+    def test_swap_names_with_failed_then_replaced_node(self, setup):
+        """A swap during a failure window stays consistent after recovery:
+        the replaced node exposes no block under either name until it is
+        explicitly restored, and the restored block lands under the
+        post-swap association."""
+        cluster, partition = setup
+        a = DistributedVector.from_global(cluster, partition, "a", np.ones(20))
+        b = DistributedVector.from_global(cluster, partition, "b", np.zeros(20))
+        cluster.fail_nodes([2])
+        swap_names(a, b)
+        cluster.replace_nodes([2])
+        assert not a.has_block(2)
+        assert not b.has_block(2)
+        a.set_block(2, np.full(5, 7.0))  # recovery restores a's (swapped) data
+        assert np.array_equal(a.get_block(2), np.full(5, 7.0))
+        assert not b.has_block(2)
+        # Surviving ranks swapped normally.
+        assert np.allclose(a.get_block(0), 0.0)
+        assert np.allclose(b.get_block(0), 1.0)
+
+    def test_swap_names_clears_stale_blocks_on_unscrubbed_node(self, setup):
+        """Regression: a node declared failed without a memory scrub (e.g. a
+        false-positive failure detection) must not expose pre-swap blocks
+        under either name when it rejoins -- the swap invalidates the stale
+        keys instead of silently skipping the rank."""
+        cluster, partition = setup
+        a = DistributedVector.from_global(cluster, partition, "a", np.ones(20))
+        b = DistributedVector.from_global(cluster, partition, "b", np.zeros(20))
+        node = cluster.node(2)
+        # Declared dead, memory NOT wiped (fail-stop detection and scrubbing
+        # are not atomic on a real machine).
+        node.status = NodeStatus.FAILED
+        swap_names(a, b)
+        node.status = NodeStatus.ALIVE  # zombie rejoin
+        assert not a.has_block(2), "stale pre-swap block exposed under 'a'"
+        assert not b.has_block(2), "stale pre-swap block exposed under 'b'"
+
+    def test_rename_clears_stale_blocks_on_unscrubbed_node(self, setup):
+        """Same hazard for rename: the old key must not survive on a node
+        that missed the move."""
+        cluster, partition = setup
+        vec = DistributedVector.from_global(cluster, partition, "old",
+                                            np.ones(20))
+        node = cluster.node(1)
+        node.status = NodeStatus.FAILED
+        vec.rename("new")
+        node.status = NodeStatus.ALIVE
+        assert not vec.has_block(1)
+        assert ("vec", "old") not in node.memory
