@@ -19,10 +19,10 @@ from repro.baselines import (
     InterpolationRecoveryPCG,
 )
 from repro.cluster import FailureEvent, FailureInjector
-from repro.core.api import distribute_problem, reference_solve, resilient_solve
+from repro.core.api import distribute_problem, solve
+from repro.core.spec import SolveSpec
 from repro.harness import format_table
 from repro.matrices import build_matrix
-from repro.precond import make_preconditioner
 
 
 def _failure_iteration(reference_iterations: int) -> int:
@@ -31,8 +31,7 @@ def _failure_iteration(reference_iterations: int) -> int:
 
 def _run_baseline(cls, matrix, n_nodes, failure_iteration, failed_ranks, **kwargs):
     problem = distribute_problem(matrix, n_nodes=n_nodes)
-    precond = make_preconditioner("block_jacobi")
-    precond.setup(problem.matrix.to_global(), problem.partition)
+    precond = problem.resolve_preconditioner("block_jacobi")
     injector = FailureInjector([FailureEvent(failure_iteration, tuple(failed_ranks))])
     solver = cls(problem.matrix, problem.rhs, precond,
                  failure_injector=injector, context=problem.context, **kwargs)
@@ -46,16 +45,14 @@ def comparison(bench_settings):
     rows = []
     for matrix_id in ("M1", "M5"):
         matrix = build_matrix(matrix_id, n=bench_settings.matrix_size, seed=0)
-        reference = reference_solve(
-            distribute_problem(matrix, n_nodes=bench_settings.n_nodes),
-            preconditioner="block_jacobi",
-        )
+        reference = solve(matrix, n_nodes=bench_settings.n_nodes,
+                          spec=SolveSpec(preconditioner="block_jacobi"))
         failure_iteration = _failure_iteration(reference.iterations)
 
-        esr = resilient_solve(
-            distribute_problem(matrix, n_nodes=bench_settings.n_nodes),
-            phi=phi, preconditioner="block_jacobi",
-            failures=[(failure_iteration, failed_ranks)],
+        esr = solve(
+            matrix, n_nodes=bench_settings.n_nodes,
+            spec=SolveSpec(preconditioner="block_jacobi"),
+            phi=phi, failures=[(failure_iteration, failed_ranks)],
         )
         checkpoint = _run_baseline(
             CheckpointRestartPCG, matrix, bench_settings.n_nodes,
@@ -118,10 +115,10 @@ def test_benchmark_esr_vs_checkpoint_wallclock(benchmark, bench_settings):
     matrix = build_matrix("M5", n=bench_settings.matrix_size, seed=0)
 
     def run():
-        return resilient_solve(
-            distribute_problem(matrix, n_nodes=bench_settings.n_nodes),
-            phi=3 if bench_settings.n_nodes > 3 else 1,
+        return solve(
+            matrix, n_nodes=bench_settings.n_nodes,
             preconditioner="block_jacobi",
+            phi=3 if bench_settings.n_nodes > 3 else 1,
             failures=[(5, [0, 1, 2] if bench_settings.n_nodes > 3 else [0])],
         )
 

@@ -15,8 +15,9 @@ import pytest
 
 from conftest import make_config
 from repro.analysis import analyze_overhead
-from repro.core.api import distribute_problem, reference_solve, resilient_solve
+from repro.core.api import distribute_problem, solve
 from repro.core.redundancy import BackupPlacement
+from repro.core.spec import ResilienceSpec, SolveSpec
 from repro.harness import format_table
 from repro.matrices import build_matrix
 
@@ -30,17 +31,16 @@ def ablation_data(bench_settings):
     rows = []
     for matrix_id in ("M3", "M5"):
         matrix = build_matrix(matrix_id, n=bench_settings.matrix_size, seed=0)
-        reference = reference_solve(
-            distribute_problem(matrix, n_nodes=bench_settings.n_nodes),
-            preconditioner="block_jacobi",
-        )
+        reference = solve(matrix, n_nodes=bench_settings.n_nodes,
+                          spec=SolveSpec(preconditioner="block_jacobi"))
         for placement in PLACEMENTS:
             problem = distribute_problem(matrix, n_nodes=bench_settings.n_nodes)
             analysis = analyze_overhead(problem.matrix, phi,
                                         placement=placement,
                                         context=problem.context)
-            result = resilient_solve(problem, phi=phi, placement=placement,
-                                     preconditioner="block_jacobi")
+            result = solve(problem, spec=SolveSpec(
+                preconditioner="block_jacobi",
+                resilience=ResilienceSpec(phi=phi, placement=placement)))
             rows.append({
                 "matrix": matrix_id,
                 "placement": placement.value,

@@ -55,7 +55,7 @@ def test_figure1_report(benchmark, study, bench_settings, capsys):
 
 def test_benchmark_m5_failure_run(benchmark, study, bench_settings):
     """Time one M5 run with the maximum tolerated number of failures."""
-    from repro.core.api import distribute_problem, resilient_solve
+    from repro.core.api import solve
     from repro.matrices import build_matrix
 
     phi = max(bench_settings.phis)
@@ -64,9 +64,9 @@ def test_benchmark_m5_failure_run(benchmark, study, bench_settings):
                         bench_settings.n_nodes // 2 + phi))
 
     def run():
-        problem = distribute_problem(matrix, n_nodes=bench_settings.n_nodes)
-        return resilient_solve(problem, phi=phi, preconditioner="block_jacobi",
-                               failures=[(5, failed)])
+        return solve(matrix, n_nodes=bench_settings.n_nodes,
+                     preconditioner="block_jacobi", phi=phi,
+                     failures=[(5, failed)])
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     assert result.converged

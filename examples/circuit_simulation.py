@@ -46,19 +46,16 @@ def main() -> None:
     print(f"  Sec. 5 band condition holds: {report.band_condition}")
 
     # --- overhead vs. number of redundant copies ---------------------------
-    reference = repro.reference_solve(
-        repro.distribute_problem(matrix, n_nodes=N_NODES, seed=1, machine=machine),
-        preconditioner="block_jacobi",
-    )
+    reference = repro.solve(matrix, n_nodes=N_NODES, seed=1, machine=machine,
+                            preconditioner="block_jacobi")
     print(f"\nreference PCG: {reference.summary()}")
 
     rows = []
     for phi in (1, 3, 8):
         analysis = analyze_overhead(problem.matrix, phi, context=problem.context)
-        resilient = repro.resilient_solve(
-            repro.distribute_problem(matrix, n_nodes=N_NODES, seed=phi, machine=machine),
-            phi=phi, preconditioner="block_jacobi",
-        )
+        resilient = repro.solve(matrix, n_nodes=N_NODES, seed=phi,
+                                machine=machine,
+                                preconditioner="block_jacobi", phi=phi)
         overhead = 100 * (resilient.simulated_time - reference.simulated_time) \
             / reference.simulated_time
         rows.append([

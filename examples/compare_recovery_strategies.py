@@ -18,7 +18,6 @@ from repro.baselines import (
 )
 from repro.cluster import FailureEvent, FailureInjector
 from repro.harness import format_table
-from repro.precond import make_preconditioner
 
 
 N_NODES = 12
@@ -27,8 +26,7 @@ FAILED_RANKS = (5, 6, 7)
 
 def run_baseline(cls, matrix, failure_iteration, **kwargs):
     problem = repro.distribute_problem(matrix, n_nodes=N_NODES)
-    precond = make_preconditioner("block_jacobi")
-    precond.setup(problem.matrix.to_global(), problem.partition)
+    precond = problem.resolve_preconditioner("block_jacobi")
     injector = FailureInjector([FailureEvent(failure_iteration, FAILED_RANKS)])
     solver = cls(problem.matrix, problem.rhs, precond,
                  failure_injector=injector, context=problem.context, **kwargs)
@@ -40,19 +38,18 @@ def main() -> None:
     print(f"thermal-style analogue: n = {matrix.shape[0]:,}, "
           f"nnz = {matrix.nnz:,}")
 
-    reference = repro.reference_solve(
-        repro.distribute_problem(matrix, n_nodes=N_NODES),
-        preconditioner="block_jacobi",
-    )
+    reference = repro.solve(matrix, n_nodes=N_NODES,
+                            preconditioner="block_jacobi")
     failure_iteration = max(2, reference.iterations // 2)
     print(f"reference: {reference.summary()}")
     print(f"three nodes {list(FAILED_RANKS)} fail at iteration "
           f"{failure_iteration}\n")
 
-    esr = repro.resilient_solve(
-        repro.distribute_problem(matrix, n_nodes=N_NODES),
-        phi=3, preconditioner="block_jacobi",
-        failures=[(failure_iteration, list(FAILED_RANKS))],
+    # Attaching a ResilienceSpec (here via the phi/failures shorthand
+    # overrides) selects the ESR-protected solver.
+    esr = repro.solve(
+        matrix, n_nodes=N_NODES, preconditioner="block_jacobi",
+        phi=3, failures=[(failure_iteration, list(FAILED_RANKS))],
     )
     checkpoint = run_baseline(
         CheckpointRestartPCG, matrix, failure_iteration,

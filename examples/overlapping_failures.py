@@ -17,16 +17,14 @@ Run with:  python examples/overlapping_failures.py
 import numpy as np
 
 import repro
-from repro.cluster import FailureEvent, FailureInjector
-from repro.core.resilient_pcg import ResilientPCG
-from repro.precond import make_preconditioner
+from repro.cluster import FailureEvent
 
 
 def main() -> None:
     matrix = repro.matrices.poisson_2d(50)            # n = 2500
     problem = repro.distribute_problem(matrix, n_nodes=10, seed=0)
 
-    reference = repro.reference_solve(
+    reference = repro.solve(
         repro.distribute_problem(matrix, n_nodes=10, seed=1),
         preconditioner="block_jacobi",
     )
@@ -36,21 +34,18 @@ def main() -> None:
 
     # Event 0: ranks 4 and 5 fail simultaneously.
     # Event 1: rank 7 fails while the recovery of event 0 is running.
-    injector = FailureInjector([
-        FailureEvent(failure_iteration, (4, 5), label="switch outage"),
-        FailureEvent(failure_iteration, (7,), during_recovery_of=0,
-                     label="overlapping failure"),
-    ])
-
-    preconditioner = make_preconditioner("block_jacobi")
-    preconditioner.setup(problem.matrix.to_global(), problem.partition)
-    solver = ResilientPCG(
-        problem.matrix, problem.rhs, preconditioner,
-        phi=3,                       # enough copies for all three failures
-        failure_injector=injector,
-        context=problem.context,
-    )
-    result = solver.solve()
+    result = repro.solve(problem, spec=repro.SolveSpec(
+        preconditioner="block_jacobi",
+        resilience=repro.ResilienceSpec(
+            phi=3,                   # enough copies for all three failures
+            failures=[
+                FailureEvent(failure_iteration, (4, 5),
+                             label="switch outage"),
+                FailureEvent(failure_iteration, (7,), during_recovery_of=0,
+                             label="overlapping failure"),
+            ],
+        ),
+    ))
 
     print(f"\nresilient run: {result.summary()}")
     for report in result.recoveries:

@@ -39,25 +39,23 @@ def main() -> None:
     machine = MachineModel(jitter_rel_std=0.0).scaled(
         max(1.0, 8000 / (matrix.shape[0] / N_NODES)))
 
-    reference = repro.reference_solve(
-        repro.distribute_problem(matrix, n_nodes=N_NODES, seed=0, machine=machine),
-        preconditioner="block_jacobi",
-    )
+    reference = repro.solve(matrix, n_nodes=N_NODES, seed=0, machine=machine,
+                            preconditioner="block_jacobi")
     print(f"reference PCG: {reference.summary()}")
     print(f"  t0 = {reference.simulated_time * 1e3:.2f} ms simulated")
 
     rows = []
     for phi in (1, 3, 8):
         # Failure-free run with phi redundant copies.
-        undisturbed = repro.resilient_solve(
-            repro.distribute_problem(matrix, n_nodes=N_NODES, seed=phi, machine=machine),
-            phi=phi, preconditioner="block_jacobi",
+        undisturbed = repro.solve(
+            matrix, n_nodes=N_NODES, seed=phi, machine=machine,
+            preconditioner="block_jacobi", phi=phi,
         )
         # phi simultaneous failures in the centre of the vector at ~50% progress.
         failed = [N_NODES // 2 + k for k in range(phi)]
-        disturbed = repro.resilient_solve(
-            repro.distribute_problem(matrix, n_nodes=N_NODES, seed=100 + phi, machine=machine),
-            phi=phi, preconditioner="block_jacobi",
+        disturbed = repro.solve(
+            matrix, n_nodes=N_NODES, seed=100 + phi, machine=machine,
+            preconditioner="block_jacobi", phi=phi,
             failures=[(reference.iterations // 2, failed)],
         )
         analysis = analyze_overhead(

@@ -16,12 +16,19 @@ Quickstart
 >>> import repro
 >>> a = repro.matrices.poisson_2d(48)              # SPD test matrix
 >>> problem = repro.distribute_problem(a, n_nodes=8)
->>> result = repro.resilient_solve(
+>>> result = repro.solve(
 ...     problem, phi=3, preconditioner="block_jacobi",
 ...     failures=[(20, [2, 3, 4])],                # 3 nodes fail at iteration 20
 ... )
 >>> result.converged
 True
+
+``repro.solve`` is the single entry point: a :class:`~repro.core.spec.
+SolveSpec` (with optional ``ResilienceSpec`` / ``BlockSpec`` extensions)
+selects and configures the solver through the solver registry -- plain PCG,
+the ESR-protected resilient PCG, or the multi-RHS block PCG (an ``(n, k)``
+right-hand side dispatches there automatically).  Keyword arguments like
+``phi=3`` above are shorthand overrides routed into the spec.
 """
 
 from . import analysis  # noqa: F401  (re-exported subpackages)
@@ -42,7 +49,11 @@ from .cluster import (
     VirtualCluster,
 )
 from .core import (
+    SOLVERS,
     BackupPlacement,
+    BlockPCG,
+    BlockSolveResult,
+    BlockSpec,
     DistributedPCG,
     DistributedProblem,
     DistributedSolveResult,
@@ -50,10 +61,15 @@ from .core import (
     ESRReconstructor,
     RecoveryReport,
     RedundancyScheme,
+    ResilienceSpec,
     ResilientPCG,
+    SolverRegistry,
+    SolveSpec,
     distribute_problem,
     reference_solve,
+    register_solver,
     resilient_solve,
+    solve,
     solve_with_failures,
 )
 from .failures import FailureLocation, FailureScenario
@@ -70,8 +86,17 @@ __all__ = [
     "FailureEvent",
     "FailureInjector",
     # core API
+    "solve",
+    "SolveSpec",
+    "ResilienceSpec",
+    "BlockSpec",
+    "SOLVERS",
+    "SolverRegistry",
+    "register_solver",
     "DistributedPCG",
     "ResilientPCG",
+    "BlockPCG",
+    "BlockSolveResult",
     "DistributedSolveResult",
     "DistributedProblem",
     "ESRProtocol",

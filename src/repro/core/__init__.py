@@ -6,8 +6,11 @@ from .api import (
     distribute_problem,
     reference_solve,
     resilient_solve,
+    solve,
     solve_with_failures,
 )
+from .registry import SOLVERS, SolverRegistry, register_solver
+from .spec import BlockSpec, ResilienceSpec, SolveSpec
 from .block_pcg import BlockPCG, BlockSolveResult
 from .esr import ESRProtocol
 from .metrics import (
@@ -47,6 +50,13 @@ __all__ = [
     "paper_backup_target",
     "DistributedProblem",
     "distribute_problem",
+    "solve",
+    "SolveSpec",
+    "ResilienceSpec",
+    "BlockSpec",
+    "SOLVERS",
+    "SolverRegistry",
+    "register_solver",
     "reference_solve",
     "resilient_solve",
     "solve_with_failures",

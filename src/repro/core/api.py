@@ -1,45 +1,113 @@
-"""High-level convenience API.
+"""High-level API: one ``repro.solve()`` entry point behind a solver registry.
 
-These helpers wire the substrates together for the common case: take a global
-SciPy sparse SPD system, distribute it over a virtual cluster, and run either
-the reference distributed PCG (for the paper's ``t0``) or the resilient
-solver with a failure schedule.  The examples and the benchmark harness are
-built on top of these functions; power users can assemble the pieces manually
-for full control.
+The substrates are wired together declaratively: a
+:class:`~repro.core.spec.SolveSpec` (plus optional
+:class:`~repro.core.spec.ResilienceSpec` / :class:`~repro.core.spec.BlockSpec`
+extensions) describes the solve, the :mod:`~repro.core.registry` maps its
+solver name to a solver class, and :func:`solve` normalises the input --
+a raw SciPy matrix is distributed over a fresh virtual cluster, an ``(n, k)``
+right-hand-side block becomes a
+:class:`~repro.distributed.dmultivector.DistributedMultiVector` dispatched to
+the block solver -- resolves the preconditioner once per problem (cached on
+the :class:`DistributedProblem`, invalidated via the matrix's
+``structure_version``), and runs the solver.
+
+>>> import repro
+>>> a = repro.matrices.poisson_2d(32)
+>>> problem = repro.distribute_problem(a, n_nodes=8)
+>>> result = repro.solve(problem, spec=repro.SolveSpec(
+...     resilience=repro.ResilienceSpec(phi=3, failures=[(20, [2, 3, 4])]),
+... ))
+>>> result.converged
+True
+
+Keyword overrides are routed into the spec (``repro.solve(problem, phi=3,
+failures=[(20, [2])])`` is the short form of the above), so quick scripts
+never have to spell the dataclasses out.
+
+The pre-registry helpers ``reference_solve`` / ``resilient_solve`` /
+``solve_with_failures`` survive as deprecated shims that delegate to
+:func:`solve` with bit-identical results and ledger charges.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Optional, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
 
 from ..cluster.cluster import VirtualCluster
 from ..cluster.cost_model import MachineModel
-from ..cluster.failure import FailureEvent, FailureInjector
+from ..cluster.failure import FailureEvent
 from ..cluster.network import Topology
 from ..distributed.comm_context import CommunicationContext
 from ..distributed.dmatrix import DistributedMatrix
+from ..distributed.dmultivector import DistributedMultiVector
 from ..distributed.dvector import DistributedVector
 from ..distributed.partition import BlockRowPartition
 from ..precond.base import Preconditioner
 from ..precond.factory import make_preconditioner
-from .pcg import DistributedPCG, DistributedSolveResult
+from .block_pcg import BlockSolveResult
+from .pcg import DistributedSolveResult
 from .redundancy import BackupPlacement
-from .resilient_pcg import ResilientPCG
+from .registry import SOLVERS, SolverRegistry, register_solver
+from .spec import BlockSpec, ResilienceSpec, SolveSpec, build_failure_events
+
+__all__ = [
+    "DistributedProblem",
+    "distribute_problem",
+    "solve",
+    "SolveSpec",
+    "ResilienceSpec",
+    "BlockSpec",
+    "SOLVERS",
+    "SolverRegistry",
+    "register_solver",
+    "build_failure_events",
+    "reference_solve",
+    "resilient_solve",
+    "solve_with_failures",
+]
+
+#: ``solve`` keyword arguments consumed by problem construction (only legal
+#: when a raw matrix is passed), not by the :class:`SolveSpec`.
+_CLUSTER_KEYS = ("n_nodes", "machine", "topology", "seed", "cluster")
 
 
 @dataclass
 class DistributedProblem:
-    """A linear system distributed over a virtual cluster."""
+    """A linear system distributed over a virtual cluster.
+
+    Besides the distributed operands the problem caches two derived objects
+    keyed by the matrix's ``structure_version`` (bumped on every row-block
+    write, e.g. when recovery restores blocks):
+
+    * :meth:`global_operator` -- the assembled global CSR matrix, so repeated
+      solves stop paying an ``O(nnz)`` gather per call;
+    * :meth:`resolve_preconditioner` -- set-up preconditioner instances per
+      ``(name, options)``, so one problem re-uses one block-Jacobi
+      factorization across its solves.
+    """
 
     cluster: VirtualCluster
     partition: BlockRowPartition
     matrix: DistributedMatrix
     rhs: DistributedVector
     context: CommunicationContext
+
+    #: Cached ``matrix.to_global()`` (+ the structure version it was built at).
+    _operator_cache: Optional[sp.csr_matrix] = field(
+        default=None, init=False, repr=False, compare=False)
+    _operator_version: int = field(default=-1, init=False, repr=False,
+                                   compare=False)
+    #: ``(name, options) -> set-up preconditioner`` for the cached version.
+    _precond_cache: Dict[tuple, Preconditioner] = field(
+        default_factory=dict, init=False, repr=False, compare=False)
+    _precond_version: int = field(default=-1, init=False, repr=False,
+                                  compare=False)
 
     @property
     def n(self) -> int:
@@ -48,6 +116,42 @@ class DistributedProblem:
     @property
     def n_nodes(self) -> int:
         return self.partition.n_parts
+
+    # -- cached derived objects ------------------------------------------------
+    def global_operator(self) -> sp.csr_matrix:
+        """The assembled global matrix, cached until a row block is rewritten."""
+        version = self.matrix.structure_version
+        if self._operator_cache is None or self._operator_version != version:
+            self._operator_cache = self.matrix.to_global()
+            self._operator_version = version
+        return self._operator_cache
+
+    def resolve_preconditioner(
+            self, preconditioner: Union[None, str, Preconditioner] = None,
+            **options: Any) -> Preconditioner:
+        """A set-up preconditioner for this problem.
+
+        Instances are set up (against the cached :meth:`global_operator`) and
+        returned as-is; names are built via
+        :func:`~repro.precond.factory.make_preconditioner` once per
+        ``(name, options)`` and cached until the matrix structure changes.
+        """
+        if isinstance(preconditioner, Preconditioner):
+            if not preconditioner.is_set_up:
+                preconditioner.setup(self.global_operator(), self.partition)
+            return preconditioner
+        name = "block_jacobi" if preconditioner is None else str(preconditioner)
+        version = self.matrix.structure_version
+        if self._precond_version != version:
+            self._precond_cache.clear()
+            self._precond_version = version
+        key = (name.lower(), tuple(sorted(options.items())))
+        cached = self._precond_cache.get(key)
+        if cached is None:
+            cached = make_preconditioner(name, **options)
+            cached.setup(self.global_operator(), self.partition)
+            self._precond_cache[key] = cached
+        return cached
 
 
 def distribute_problem(matrix, rhs: Optional[np.ndarray] = None, *,
@@ -88,30 +192,100 @@ def distribute_problem(matrix, rhs: Optional[np.ndarray] = None, *,
     return DistributedProblem(cluster, partition, a_dist, b_dist, context)
 
 
-def _resolve_preconditioner(preconditioner: Union[None, str, Preconditioner],
-                            problem: DistributedProblem) -> Preconditioner:
-    if preconditioner is None:
-        preconditioner = "block_jacobi"
-    if isinstance(preconditioner, str):
-        preconditioner = make_preconditioner(preconditioner)
-    if not preconditioner.is_set_up:
-        preconditioner.setup(problem.matrix.to_global(), problem.partition)
-    return preconditioner
+def _normalize_rhs(problem: DistributedProblem, rhs
+                   ) -> Union[DistributedVector, DistributedMultiVector]:
+    """Turn *rhs* into a distributed (multi-)vector on *problem*'s cluster."""
+    if rhs is None:
+        return problem.rhs
+    if isinstance(rhs, (DistributedVector, DistributedMultiVector)):
+        if rhs.cluster is not problem.cluster:
+            raise ValueError("rhs lives on a different cluster than the problem")
+        if not problem.partition.is_compatible_with(rhs.partition):
+            raise ValueError("rhs has a partition incompatible with the problem")
+        return rhs
+    values = np.asarray(rhs, dtype=np.float64)
+    if values.ndim == 1:
+        return DistributedVector.from_global(
+            problem.cluster, problem.partition, "solve:b", values)
+    if values.ndim == 2:
+        return DistributedMultiVector.from_global(
+            problem.cluster, problem.partition, "solve:B", values)
+    raise ValueError(f"rhs must be 1-D or (n, k) 2-D, got shape {values.shape}")
 
 
-def build_failure_events(failures: Iterable[Union[FailureEvent, Tuple]]
-                         ) -> List[FailureEvent]:
-    """Normalise ``(iteration, ranks)`` tuples into :class:`FailureEvent` objects."""
-    events: List[FailureEvent] = []
-    for item in failures:
-        if isinstance(item, FailureEvent):
-            events.append(item)
+def solve(problem, rhs=None, spec: Optional[SolveSpec] = None, **overrides
+          ) -> Union[DistributedSolveResult, BlockSolveResult]:
+    """Solve ``A x = b`` (or ``A X = B``) as described by a :class:`SolveSpec`.
+
+    Parameters
+    ----------
+    problem:
+        A :class:`DistributedProblem`, or a raw global matrix (any SciPy
+        sparse format / dense array) that is distributed first.  With a raw
+        matrix the cluster options ``n_nodes``, ``machine``, ``topology``,
+        ``seed`` and ``cluster`` may be passed as keyword arguments (they are
+        forwarded to :func:`distribute_problem`).
+    rhs:
+        Right-hand side(s): ``None`` (the problem's stored rhs, or ``A @
+        ones`` for a raw matrix), a global 1-D array, a global ``(n, k)``
+        array (dispatched to the block solver), or an already-distributed
+        (multi-)vector on the problem's cluster.
+    spec:
+        The declarative configuration; defaults to ``SolveSpec()`` (plain
+        PCG, block Jacobi, ``rtol=1e-8``).
+    **overrides:
+        Spec-field overrides applied via :meth:`SolveSpec.with_overrides` --
+        including extension fields such as ``phi``, ``failures`` or
+        ``fuse_reductions`` -- plus the cluster options above.
+
+    Returns
+    -------
+    :class:`~repro.core.pcg.DistributedSolveResult` for single-RHS solvers,
+    :class:`~repro.core.block_pcg.BlockSolveResult` for the block solver.
+    """
+    cluster_kwargs = {k: overrides.pop(k) for k in _CLUSTER_KEYS
+                      if k in overrides}
+    spec = spec if spec is not None else SolveSpec()
+    if overrides:
+        spec = spec.with_overrides(**overrides)
+
+    if isinstance(problem, DistributedProblem):
+        if cluster_kwargs:
+            raise ValueError(
+                f"cluster options {sorted(cluster_kwargs)} only apply when a "
+                "raw matrix is passed; the problem's cluster is reused"
+            )
+        rhs_obj = _normalize_rhs(problem, rhs)
+    else:
+        values = None if rhs is None else np.asarray(rhs, dtype=np.float64)
+        if values is not None and values.ndim == 2:
+            # The problem's single-rhs slot is unused on the block path;
+            # zeros skip the default ``A @ ones`` SpMV.
+            problem = distribute_problem(
+                problem, np.zeros(values.shape[0]), **cluster_kwargs)
+            rhs_obj = DistributedMultiVector.from_global(
+                problem.cluster, problem.partition, "solve:B", values)
         else:
-            iteration, ranks = item[0], item[1]
-            if np.isscalar(ranks):
-                ranks = [int(ranks)]
-            events.append(FailureEvent(int(iteration), tuple(int(r) for r in ranks)))
-    return events
+            problem = distribute_problem(problem, values, **cluster_kwargs)
+            rhs_obj = problem.rhs
+
+    solver_name = spec.resolved_solver(
+        multi_rhs=isinstance(rhs_obj, DistributedMultiVector))
+    preconditioner = problem.resolve_preconditioner(
+        spec.preconditioner, **spec.preconditioner_options)
+    solver = SOLVERS.build(solver_name, problem, rhs_obj, preconditioner, spec)
+    return solver.solve()
+
+
+# ---------------------------------------------------------------------------
+# deprecated pre-registry helpers (thin shims over ``solve``)
+# ---------------------------------------------------------------------------
+
+def _warn_deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.{old}() is deprecated; use {new} instead",
+        DeprecationWarning, stacklevel=3,
+    )
 
 
 def reference_solve(problem: DistributedProblem, *,
@@ -119,13 +293,11 @@ def reference_solve(problem: DistributedProblem, *,
                     rtol: float = 1e-8,
                     max_iterations: Optional[int] = None
                     ) -> DistributedSolveResult:
-    """Run the plain (non-resilient) distributed PCG -- the paper's reference run."""
-    solver = DistributedPCG(
-        problem.matrix, problem.rhs,
-        _resolve_preconditioner(preconditioner, problem),
-        rtol=rtol, max_iterations=max_iterations, context=problem.context,
-    )
-    return solver.solve()
+    """Deprecated: use ``repro.solve(problem, spec=SolveSpec(solver='pcg'))``."""
+    _warn_deprecated("reference_solve", "repro.solve(problem, ...)")
+    return solve(problem, spec=SolveSpec(
+        solver="pcg", rtol=rtol, max_iterations=max_iterations,
+        preconditioner=preconditioner))
 
 
 def resilient_solve(problem: DistributedProblem, *, phi: int = 1,
@@ -136,35 +308,39 @@ def resilient_solve(problem: DistributedProblem, *, phi: int = 1,
                     max_iterations: Optional[int] = None,
                     local_solver_method: str = "pcg_ilu",
                     local_rtol: float = 1e-14) -> DistributedSolveResult:
-    """Run the ESR-protected PCG, optionally injecting node failures.
-
-    ``failures`` may contain :class:`FailureEvent` objects or simple
-    ``(iteration, ranks)`` tuples.
-    """
-    events = build_failure_events(failures)
-    injector = FailureInjector(events) if events else None
-    solver = ResilientPCG(
-        problem.matrix, problem.rhs,
-        _resolve_preconditioner(preconditioner, problem),
-        phi=phi, placement=placement, failure_injector=injector,
-        local_solver_method=local_solver_method, local_rtol=local_rtol,
-        rtol=rtol, max_iterations=max_iterations, context=problem.context,
-    )
-    return solver.solve()
+    """Deprecated: use ``repro.solve`` with a :class:`ResilienceSpec`."""
+    _warn_deprecated("resilient_solve",
+                     "repro.solve(problem, spec=SolveSpec(resilience=...))")
+    return solve(problem, spec=SolveSpec(
+        solver="resilient_pcg", rtol=rtol, max_iterations=max_iterations,
+        preconditioner=preconditioner,
+        resilience=ResilienceSpec(
+            phi=phi, placement=placement, failures=tuple(failures),
+            local_solver_method=local_solver_method, local_rtol=local_rtol)))
 
 
 def solve_with_failures(matrix, rhs: Optional[np.ndarray] = None, *,
                         n_nodes: int = 8, phi: int = 1,
                         failures: Iterable[Union[FailureEvent, Tuple]] = (),
                         preconditioner: Union[None, str, Preconditioner] = None,
+                        placement: BackupPlacement = BackupPlacement.PAPER,
                         rtol: float = 1e-8,
                         max_iterations: Optional[int] = None,
+                        local_solver_method: str = "pcg_ilu",
+                        local_rtol: float = 1e-14,
                         machine: Optional[MachineModel] = None,
                         seed: Optional[int] = None) -> DistributedSolveResult:
-    """One-call convenience wrapper: distribute, protect, fail, recover, solve."""
-    problem = distribute_problem(matrix, rhs, n_nodes=n_nodes, machine=machine,
-                                 seed=seed)
-    return resilient_solve(
-        problem, phi=phi, failures=failures, preconditioner=preconditioner,
-        rtol=rtol, max_iterations=max_iterations,
-    )
+    """Deprecated one-call wrapper: use ``repro.solve(matrix, rhs, ...)``.
+
+    Forwards the **full** resilience configuration -- including
+    ``placement``, ``local_solver_method`` and ``local_rtol``, which the
+    pre-registry version silently dropped.
+    """
+    _warn_deprecated("solve_with_failures", "repro.solve(matrix, rhs, ...)")
+    return solve(matrix, rhs, spec=SolveSpec(
+        solver="resilient_pcg", rtol=rtol, max_iterations=max_iterations,
+        preconditioner=preconditioner,
+        resilience=ResilienceSpec(
+            phi=phi, placement=placement, failures=tuple(failures),
+            local_solver_method=local_solver_method, local_rtol=local_rtol)),
+        n_nodes=n_nodes, machine=machine, seed=seed)

@@ -21,7 +21,11 @@ Per iteration the solver performs exactly the Alg. 1 steps on whole blocks:
   scalars instead of ``k`` scalar allreduces, so the allreduce *message*
   count per iteration is independent of ``k`` while the volume scales with
   ``k`` (see :meth:`Communicator.allreduce_sum` /
-  :meth:`MachineModel.allreduce_time`).
+  :meth:`MachineModel.allreduce_time`).  With ``fuse_reductions=True`` the
+  adjacent trailing pair ``R^T Z`` / ``R^T R`` additionally ships as **one**
+  ``2k``-wide collective (3 -> 2 reductions per iteration, bit-identical
+  iterates; off by default to preserve the exact ``k = 1`` charge equality
+  below).
 
 **Equivalence contract.**  The recurrences are independent (per-column
 ``alpha_j`` / ``beta_j``, no Gram coupling), every block operation is
@@ -51,7 +55,11 @@ from ..cluster.cluster import VirtualCluster
 from ..cluster.cost_model import Phase
 from ..distributed.comm_context import CommunicationContext
 from ..distributed.dmatrix import DistributedMatrix
-from ..distributed.dmultivector import DistributedMultiVector
+from ..distributed.dmultivector import (
+    DistributedMultiVector,
+    fused_dots,
+    norms_from_dots,
+)
 from ..distributed.partition import BlockRowPartition
 from ..distributed.spmv import distributed_spmv_block
 from ..precond.base import Preconditioner
@@ -117,7 +125,9 @@ class BlockPCG:
                  rtol: float = 1e-8, atol: float = 0.0,
                  max_iterations: Optional[int] = None,
                  context: Optional[CommunicationContext] = None,
-                 overlap_spmv: bool = False):
+                 overlap_spmv: bool = False,
+                 engine: bool = True,
+                 fuse_reductions: bool = False):
         self.matrix = matrix
         self.rhs = rhs
         self.n_cols = rhs.n_cols
@@ -125,6 +135,17 @@ class BlockPCG:
         #: overlap-aware cost (same semantics and rounding caveat as
         #: ``DistributedPCG(overlap_spmv=True)``).
         self.overlap_spmv = bool(overlap_spmv)
+        #: Execute the batched SpMVs through the cached local-view engine
+        #: (default); ``False`` runs the dense-gather reference path
+        #: (bit-identical results and charges).
+        self.engine = bool(engine)
+        #: Ship the trailing ``R^T Z`` and ``R^T R`` reductions of each
+        #: iteration as **one** ``2k``-wide allreduce (3 -> 2 reductions per
+        #: iteration; see :func:`~repro.distributed.dmultivector.fused_dots`).
+        #: Off by default: fusing keeps per-column iterates and histories
+        #: bit-identical, but the reduced latency charge gives up the exact
+        #: ``k = 1`` ledger equality with :class:`DistributedPCG`.
+        self.fuse_reductions = bool(fuse_reductions)
         self.cluster: VirtualCluster = matrix.cluster
         self.partition: BlockRowPartition = matrix.partition
         if not self.partition.is_compatible_with(rhs.partition):
@@ -204,7 +225,7 @@ class BlockPCG:
     def _spmv_p(self) -> None:
         """``AP = A P`` through the batched engine kernel (one halo exchange)."""
         distributed_spmv_block(self.matrix, self.p, self.ap, self.context,
-                               overlap=self.overlap_spmv)
+                               overlap=self.overlap_spmv, engine=self.engine)
 
     @staticmethod
     def _masked_ratio(numer: np.ndarray, denom: np.ndarray,
@@ -237,15 +258,25 @@ class BlockPCG:
 
         # R(0) = B - A X(0)
         distributed_spmv_block(self.matrix, self.x, self.ap, self.context,
-                               overlap=self.overlap_spmv)
+                               overlap=self.overlap_spmv, engine=self.engine)
         self.r.assign(self.rhs)
         self.r.axpy(-1.0, self.ap)
         # Z(0) = M^{-1} R(0); P(0) = Z(0)
         self._apply_preconditioner(self.r, self.z)
         self.p.assign(self.z)
 
-        self.rz = self.r.dots(self.z)
-        r_norms = self.r.norms2()
+        if self.fuse_reductions:
+            # The setup pair R^T Z / R^T R fuses exactly like the trailing
+            # pair of each iteration.
+            rz0, rr0 = fused_dots([(self.r, self.z), (self.r, self.r)])
+            self.rz = rz0
+            r_norms = norms_from_dots(rr0)
+            n_reductions = 1
+        else:
+            self.rz = self.r.dots(self.z)
+            r_norms = self.r.norms2()
+            # Batched reductions performed so far (2 at setup: rz and ||r0||).
+            n_reductions = 2
         thresholds = np.maximum(self.rtol * r_norms, self.atol)
         self.residual_histories = [[float(r_norms[j])] for j in range(k)]
         self.iterations = np.zeros(k, dtype=np.int64)
@@ -253,12 +284,11 @@ class BlockPCG:
         breakdown = np.zeros(k, dtype=bool)
         self.active = ~converged
         global_iterations = 0
-        # Batched reductions performed so far (2 at setup: rz and ||r0||).
-        # Exposed via the result so harnesses can verify the one-collective-
+        # ``n_reductions`` counts the batched collectives so far; it is
+        # exposed via the result so harnesses can verify the one-collective-
         # per-reduction contract without reconstructing the loop's control
         # flow (an all-columns breakdown aborts an iteration after its first
         # reduction).
-        n_reductions = 2
 
         while np.any(self.active) and global_iterations < self.max_iterations:
             # --- Alg. 1 line 3 first half: the batched SpMV
@@ -286,9 +316,17 @@ class BlockPCG:
             self.r.axpy(-alpha, self.ap)
             # --- line 6: preconditioned residual block
             self._apply_preconditioner(self.r, self.z)
-            # --- line 7: per-column beta through one batched allreduce
-            rz_next = self.r.dots(self.z)
-            n_reductions += 1
+            # --- line 7: per-column beta through one batched allreduce.
+            # With fuse_reductions the convergence check's R^T R rides the
+            # same collective (R is not touched again before it is needed),
+            # one 2k-wide payload instead of two k-wide ones -- component-
+            # wise bit-identical either way (see fused_dots).
+            if self.fuse_reductions:
+                rz_next, rr = fused_dots([(self.r, self.z), (self.r, self.r)])
+                n_reductions += 1
+            else:
+                rz_next = self.r.dots(self.z)
+                n_reductions += 1
             beta = self._masked_ratio(rz_next, self.rz, self.active)
             # --- line 8: new search directions P = Z + P diag(beta)
             self.p.aypx(beta, self.z)
@@ -296,8 +334,11 @@ class BlockPCG:
             self.iterations[self.active] += 1
             global_iterations += 1
 
-            r_norms = self.r.norms2()
-            n_reductions += 1
+            if self.fuse_reductions:
+                r_norms = norms_from_dots(rr)
+            else:
+                r_norms = self.r.norms2()
+                n_reductions += 1
             for j in np.nonzero(self.active)[0]:
                 self.residual_histories[j].append(float(r_norms[j]))
             newly_converged = self.active & (r_norms <= thresholds)
@@ -339,6 +380,8 @@ class BlockPCG:
                 "n_nodes": self.partition.n_parts,
                 "n_cols": self.n_cols,
                 "overlap_spmv": self.overlap_spmv,
+                "engine": self.engine,
+                "fuse_reductions": self.fuse_reductions,
                 "breakdown_columns": [int(j) for j in np.nonzero(breakdown)[0]],
                 "n_reductions": int(n_reductions),
             },

@@ -66,7 +66,8 @@ class DistributedPCG:
                  rtol: float = 1e-8, atol: float = 0.0,
                  max_iterations: Optional[int] = None,
                  context: Optional[CommunicationContext] = None,
-                 overlap_spmv: bool = False):
+                 overlap_spmv: bool = False,
+                 engine: bool = True):
         self.matrix = matrix
         self.rhs = rhs
         #: Execute SpMVs split-phase (halo exchange overlapped with the
@@ -75,6 +76,10 @@ class DistributedPCG:
         #: reference, while split execution rounds like PETSc's overlapped
         #: MatMult (last-bits differences; see repro.distributed.spmv_engine).
         self.overlap_spmv = bool(overlap_spmv)
+        #: Execute SpMVs through the cached local-view engine (default);
+        #: ``False`` runs the dense-gather reference path instead
+        #: (bit-identical results and charges, kept as the oracle).
+        self.engine = bool(engine)
         self.cluster: VirtualCluster = matrix.cluster
         self.partition: BlockRowPartition = matrix.partition
         if not self.partition.is_compatible_with(rhs.partition):
@@ -174,7 +179,7 @@ class DistributedPCG:
         split-phase and the overlap-aware cost is charged.
         """
         distributed_spmv(self.matrix, self.p, self.ap, self.context,
-                         overlap=self.overlap_spmv)
+                         overlap=self.overlap_spmv, engine=self.engine)
 
     # -- main loop ----------------------------------------------------------------------
     def solve(self, x0: Union[None, np.ndarray, DistributedVector] = None
@@ -191,7 +196,7 @@ class DistributedPCG:
 
         # r(0) = b - A x(0)
         distributed_spmv(self.matrix, self.x, self.ap, self.context,
-                         overlap=self.overlap_spmv)
+                         overlap=self.overlap_spmv, engine=self.engine)
         self.r.assign(self.rhs)
         self.r.axpy(-1.0, self.ap)
         # z(0) = M^{-1} r(0); p(0) = z(0)
@@ -284,6 +289,7 @@ class DistributedPCG:
                 "preconditioner": self.preconditioner.name,
                 "n_nodes": self.partition.n_parts,
                 "overlap_spmv": self.overlap_spmv,
+                "engine": self.engine,
             },
             simulated_time=total,
             simulated_iteration_time=iteration_time,

@@ -1,0 +1,160 @@
+"""Solver registry: from ``SolveSpec.solver`` names to configured solvers.
+
+Mirrors :mod:`repro.precond.factory`: solvers are registered under short
+string names and built from a declarative configuration.  The façade
+(:func:`repro.core.api.solve`) resolves the name with
+:meth:`SolveSpec.resolved_solver` and calls :meth:`SolverRegistry.build`;
+new scenarios (resilient block solves, coupled block-CG, ...) plug in as a
+``@register_solver("name")`` builder plus whatever :class:`SolveSpec`
+extension they need -- no new top-level helper required.
+
+A builder receives ``(problem, rhs, preconditioner, spec)`` -- the
+distributed problem, the already-normalised right-hand side
+(:class:`~repro.distributed.dvector.DistributedVector` or
+:class:`~repro.distributed.dmultivector.DistributedMultiVector`), the
+resolved (set-up) preconditioner, and the full :class:`SolveSpec` -- and
+returns a solver object exposing ``solve()``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from ..cluster.failure import FailureInjector
+from ..distributed.dmultivector import DistributedMultiVector
+from ..distributed.dvector import DistributedVector
+from .block_pcg import BlockPCG
+from .pcg import DistributedPCG
+from .resilient_pcg import ResilientPCG
+from .spec import BlockSpec, ResilienceSpec, SolveSpec
+
+#: A solver builder: ``(problem, rhs, preconditioner, spec) -> solver``.
+SolverBuilder = Callable[..., object]
+
+
+class SolverRegistry:
+    """Name -> builder mapping with a decorator-based registration API."""
+
+    def __init__(self) -> None:
+        self._builders: Dict[str, SolverBuilder] = {}
+
+    def register(self, name: str) -> Callable[[SolverBuilder], SolverBuilder]:
+        """Decorator registering *builder* under *name* (case-insensitive)."""
+        key = str(name).lower()
+
+        def decorator(builder: SolverBuilder) -> SolverBuilder:
+            self._builders[key] = builder
+            return builder
+
+        return decorator
+
+    def names(self) -> Tuple[str, ...]:
+        """The registered solver names, sorted."""
+        return tuple(sorted(self._builders))
+
+    def get(self, name: str) -> SolverBuilder:
+        """The builder registered under *name*.
+
+        Raises ``ValueError`` listing every registered name when *name* is
+        unknown (mirroring :func:`repro.precond.factory.make_preconditioner`).
+        """
+        key = str(name).lower()
+        try:
+            return self._builders[key]
+        except KeyError:
+            raise ValueError(
+                f"unknown solver {name!r}; available: {self.names()}"
+            ) from None
+
+    def build(self, name: str, problem, rhs, preconditioner,
+              spec: SolveSpec):
+        """Build the configured solver *name* for one solve."""
+        return self.get(name)(problem, rhs, preconditioner, spec)
+
+
+#: The default registry behind :func:`repro.solve`.
+SOLVERS = SolverRegistry()
+
+#: Register a solver builder in the default registry (decorator).
+register_solver = SOLVERS.register
+
+
+def _require_single_rhs(rhs, solver: str) -> DistributedVector:
+    if isinstance(rhs, DistributedMultiVector):
+        raise ValueError(
+            f"solver {solver!r} takes a single right-hand side; pass a "
+            "1-D rhs or select solver='block_pcg' for (n, k) blocks"
+        )
+    return rhs
+
+
+def _require_no_block(spec: SolveSpec, solver: str) -> None:
+    if spec.block is not None:
+        raise ValueError(
+            f"solver {solver!r} does not understand a BlockSpec; use "
+            "solver='block_pcg' for multi-RHS solves"
+        )
+
+
+def _require_no_resilience(spec: SolveSpec, solver: str) -> None:
+    if spec.resilience is not None:
+        raise ValueError(
+            f"solver {solver!r} does not understand a ResilienceSpec; use "
+            "solver='resilient_pcg' for ESR-protected solves"
+        )
+
+
+@register_solver("pcg")
+def build_pcg(problem, rhs, preconditioner, spec: SolveSpec) -> DistributedPCG:
+    """The plain distributed PCG (the paper's reference solver)."""
+    _require_no_resilience(spec, "pcg")
+    _require_no_block(spec, "pcg")
+    return DistributedPCG(
+        problem.matrix, _require_single_rhs(rhs, "pcg"), preconditioner,
+        rtol=spec.rtol, atol=spec.atol, max_iterations=spec.max_iterations,
+        context=problem.context, overlap_spmv=spec.overlap_spmv,
+        engine=spec.engine,
+    )
+
+
+@register_solver("resilient_pcg")
+def build_resilient_pcg(problem, rhs, preconditioner,
+                        spec: SolveSpec) -> ResilientPCG:
+    """The ESR-protected PCG (the paper's contribution)."""
+    _require_no_block(spec, "resilient_pcg")
+    res = spec.resilience if spec.resilience is not None else ResilienceSpec()
+    injector = FailureInjector(list(res.failures)) if res.failures else None
+    return ResilientPCG(
+        problem.matrix, _require_single_rhs(rhs, "resilient_pcg"),
+        preconditioner,
+        phi=res.phi, placement=res.placement, failure_injector=injector,
+        local_solver_method=res.local_solver_method,
+        local_rtol=res.local_rtol,
+        reconstruction_form=res.reconstruction_form,
+        rtol=spec.rtol, atol=spec.atol, max_iterations=spec.max_iterations,
+        context=problem.context, overlap_spmv=spec.overlap_spmv,
+        engine=spec.engine,
+    )
+
+
+@register_solver("block_pcg")
+def build_block_pcg(problem, rhs, preconditioner, spec: SolveSpec) -> BlockPCG:
+    """The lock-step multi-RHS block PCG (no failure handling yet)."""
+    _require_no_resilience(spec, "block_pcg")
+    block = spec.block if spec.block is not None else BlockSpec()
+    if isinstance(rhs, DistributedVector):
+        # Single-vector input solved through the block path as a k = 1 block.
+        rhs = DistributedMultiVector.from_columns(
+            problem.cluster, problem.partition, f"{rhs.name}:as_block", [rhs]
+        )
+    if block.n_cols is not None and rhs.n_cols != block.n_cols:
+        raise ValueError(
+            f"BlockSpec expects n_cols={block.n_cols} right-hand sides but "
+            f"the RHS block carries {rhs.n_cols}"
+        )
+    return BlockPCG(
+        problem.matrix, rhs, preconditioner,
+        rtol=spec.rtol, atol=spec.atol, max_iterations=spec.max_iterations,
+        context=problem.context, overlap_spmv=spec.overlap_spmv,
+        engine=spec.engine, fuse_reductions=block.fuse_reductions,
+    )

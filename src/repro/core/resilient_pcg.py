@@ -72,10 +72,11 @@ class ResilientPCG(DistributedPCG):
                  rtol: float = 1e-8, atol: float = 0.0,
                  max_iterations: Optional[int] = None,
                  context: Optional[CommunicationContext] = None,
-                 overlap_spmv: bool = False):
+                 overlap_spmv: bool = False,
+                 engine: bool = True):
         super().__init__(matrix, rhs, preconditioner, rtol=rtol, atol=atol,
                          max_iterations=max_iterations, context=context,
-                         overlap_spmv=overlap_spmv)
+                         overlap_spmv=overlap_spmv, engine=engine)
         if phi < 0:
             raise ValueError(f"phi must be non-negative, got {phi}")
         if failure_injector is not None:

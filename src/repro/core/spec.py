@@ -1,0 +1,334 @@
+"""Declarative solver configuration (`SolveSpec` and friends).
+
+The high-level API is driven by frozen configuration dataclasses instead of
+per-helper keyword soup (PETSc-options style): a :class:`SolveSpec` carries
+everything every solver understands (tolerances, iteration cap, SpMV
+execution knobs, the preconditioner), and two optional extensions carry the
+solver-specific pieces -- :class:`ResilienceSpec` for the ESR-protected
+solver (redundancy level, backup placement, failure schedule, local-solver
+options) and :class:`BlockSpec` for multi-RHS block solves (expected column
+count, reduction fusing).
+
+Every spec validates its fields on construction, round-trips through
+``to_dict``/``from_dict`` (plain JSON-serializable dictionaries, so
+benchmark sweeps and the experiment harness can be driven from config
+files), and documents its defaults in the field comments below.  The one
+entry point that consumes them is :func:`repro.core.api.solve`; the mapping
+from ``SolveSpec.solver`` names to solver classes lives in
+:mod:`repro.core.registry`.
+
+Defaults at a glance
+--------------------
+``SolveSpec()`` alone means: auto-selected solver (plain PCG for one
+right-hand side, block PCG for a multi-RHS block, resilient PCG as soon as
+a :class:`ResilienceSpec` is attached), ``rtol=1e-8``, ``atol=0``, the
+solver's own iteration cap (``10 n``), serialized SpMV through the
+local-view engine, and a block-Jacobi preconditioner -- exactly the paper's
+reference configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from ..cluster.failure import FailureEvent
+from ..precond.base import Preconditioner, PreconditionerForm
+from .redundancy import BackupPlacement
+
+#: Spec fields routed to :class:`ResilienceSpec` by ``SolveSpec.with_overrides``.
+_RESILIENCE_FIELDS = ("phi", "placement", "failures", "local_solver_method",
+                      "local_rtol", "reconstruction_form")
+#: Spec fields routed to :class:`BlockSpec` by ``SolveSpec.with_overrides``.
+_BLOCK_FIELDS = ("n_cols", "fuse_reductions")
+
+
+def build_failure_events(failures: Iterable[Union[FailureEvent, Tuple]]
+                         ) -> List[FailureEvent]:
+    """Normalise ``(iteration, ranks)`` tuples into :class:`FailureEvent` objects."""
+    events: List[FailureEvent] = []
+    for item in failures:
+        if isinstance(item, FailureEvent):
+            events.append(item)
+        else:
+            iteration, ranks = item[0], item[1]
+            if np.isscalar(ranks):
+                ranks = [int(ranks)]
+            events.append(FailureEvent(int(iteration), tuple(int(r) for r in ranks)))
+    return events
+
+
+def _check_unknown_keys(data: Mapping[str, Any], known: Iterable[str],
+                        what: str) -> None:
+    unknown = sorted(set(data) - set(known))
+    if unknown:
+        raise ValueError(f"unknown {what} keys {unknown}; "
+                         f"known keys: {sorted(known)}")
+
+
+def _event_to_dict(event: FailureEvent) -> Dict[str, Any]:
+    return {
+        "iteration": int(event.iteration),
+        "ranks": [int(r) for r in event.ranks],
+        "during_recovery_of": event.during_recovery_of,
+        "label": event.label,
+    }
+
+
+def _event_from_dict(data: Mapping[str, Any]) -> FailureEvent:
+    _check_unknown_keys(data, ("iteration", "ranks", "during_recovery_of",
+                               "label"), "failure-event")
+    return FailureEvent(
+        iteration=int(data["iteration"]),
+        ranks=tuple(int(r) for r in data["ranks"]),
+        during_recovery_of=data.get("during_recovery_of"),
+        label=data.get("label", ""),
+    )
+
+
+@dataclass(frozen=True)
+class ResilienceSpec:
+    """Configuration of the ESR-protected solver (``solver="resilient_pcg"``).
+
+    Attaching one of these to a :class:`SolveSpec` is what requests
+    resilience; all fields default to the paper's settings.
+    """
+
+    #: Redundant copies kept per search-direction block (max. simultaneous
+    #: failures survived); ``0 <= phi < N``.
+    phi: int = 1
+    #: Backup-node placement strategy (Eqn. (5) of the paper by default).
+    placement: BackupPlacement = BackupPlacement.PAPER
+    #: Failure schedule: :class:`FailureEvent` objects or ``(iteration,
+    #: ranks)`` tuples (normalised on construction).  Empty = undisturbed.
+    failures: Tuple[FailureEvent, ...] = ()
+    #: Local subsystem solver of the reconstruction (``"pcg_ilu"`` with
+    #: ``1e-14`` in the paper).
+    local_solver_method: str = "pcg_ilu"
+    local_rtol: float = 1e-14
+    #: Force a reconstruction variant; ``None`` = the preconditioner's
+    #: natural form.
+    reconstruction_form: Optional[PreconditionerForm] = None
+
+    def __post_init__(self) -> None:
+        if int(self.phi) < 0:
+            raise ValueError(f"phi must be non-negative, got {self.phi}")
+        object.__setattr__(self, "phi", int(self.phi))
+        if not isinstance(self.placement, BackupPlacement):
+            object.__setattr__(self, "placement",
+                               BackupPlacement(self.placement))
+        object.__setattr__(self, "failures",
+                           tuple(build_failure_events(self.failures)))
+        if self.reconstruction_form is not None and \
+                not isinstance(self.reconstruction_form, PreconditionerForm):
+            object.__setattr__(self, "reconstruction_form",
+                               PreconditionerForm(self.reconstruction_form))
+        if float(self.local_rtol) <= 0.0:
+            raise ValueError(
+                f"local_rtol must be positive, got {self.local_rtol}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain JSON-serializable dictionary (see :meth:`from_dict`)."""
+        return {
+            "phi": self.phi,
+            "placement": self.placement.value,
+            "failures": [_event_to_dict(e) for e in self.failures],
+            "local_solver_method": self.local_solver_method,
+            "local_rtol": self.local_rtol,
+            "reconstruction_form": (self.reconstruction_form.value
+                                    if self.reconstruction_form is not None
+                                    else None),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ResilienceSpec":
+        _check_unknown_keys(data, [f.name for f in fields(cls)], "ResilienceSpec")
+        kwargs = dict(data)
+        if "failures" in kwargs:
+            kwargs["failures"] = tuple(
+                _event_from_dict(e) if isinstance(e, Mapping) else e
+                for e in kwargs["failures"]
+            )
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """Configuration of multi-RHS block solves (``solver="block_pcg"``)."""
+
+    #: Expected number of right-hand sides; ``None`` accepts whatever the
+    #: RHS block carries (a mismatch raises at dispatch time).
+    n_cols: Optional[int] = None
+    #: Ship the trailing ``R^T Z`` and ``R^T R`` reductions of an iteration
+    #: as **one** ``2k``-wide allreduce (3 -> 2 reductions per iteration).
+    #: Off by default: fusing keeps the iterates bit-identical but gives up
+    #: the exact ``k = 1`` ledger-charge equality with ``DistributedPCG``.
+    fuse_reductions: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_cols is not None:
+            if int(self.n_cols) < 1:
+                raise ValueError(f"n_cols must be positive, got {self.n_cols}")
+            object.__setattr__(self, "n_cols", int(self.n_cols))
+        object.__setattr__(self, "fuse_reductions", bool(self.fuse_reductions))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain JSON-serializable dictionary (see :meth:`from_dict`)."""
+        return {"n_cols": self.n_cols, "fuse_reductions": self.fuse_reductions}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BlockSpec":
+        _check_unknown_keys(data, [f.name for f in fields(cls)], "BlockSpec")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class SolveSpec:
+    """Everything one :func:`repro.solve` call needs, in one frozen object.
+
+    The common solver knobs live here; solver-specific extensions are
+    attached through :attr:`resilience` / :attr:`block`.  Construct directly,
+    from a JSON dictionary (:meth:`from_dict`), or derive a variant from an
+    existing spec with :meth:`with_overrides` (which also routes extension
+    fields like ``phi`` or ``fuse_reductions`` to the right sub-spec).
+    """
+
+    #: Registered solver name (``"pcg"``, ``"resilient_pcg"``,
+    #: ``"block_pcg"``, or any name added via ``register_solver``).  ``None``
+    #: auto-selects: block PCG for a multi-RHS block, resilient PCG when a
+    #: :class:`ResilienceSpec` is attached, plain PCG otherwise.
+    solver: Optional[str] = None
+    #: Relative/absolute convergence tolerances on the recurrence residual.
+    rtol: float = 1e-8
+    atol: float = 0.0
+    #: Iteration cap; ``None`` = the solver default (``10 n``).
+    max_iterations: Optional[int] = None
+    #: Execute SpMVs split-phase (halo exchange overlapped with the diagonal
+    #: block product) and charge the overlap-aware cost.
+    overlap_spmv: bool = False
+    #: Execute SpMVs through the cached local-view engine (default); ``False``
+    #: forces the dense-gather reference path (bit-identical results/charges).
+    engine: bool = True
+    #: Preconditioner: a registered name (see ``repro.precond.PRECONDITIONERS``),
+    #: ``None`` for the default block Jacobi, or an already-built
+    #: :class:`~repro.precond.base.Preconditioner` instance (not serializable).
+    preconditioner: Union[None, str, Preconditioner] = "block_jacobi"
+    #: Keyword arguments for the preconditioner factory (e.g. ``omega`` for
+    #: SSOR); ignored when an instance is passed.
+    preconditioner_options: Dict[str, Any] = field(default_factory=dict)
+    #: ESR-resilience extension; attaching one selects ``resilient_pcg``
+    #: unless ``solver`` says otherwise.
+    resilience: Optional[ResilienceSpec] = None
+    #: Multi-RHS extension; attaching one selects ``block_pcg`` unless
+    #: ``solver`` says otherwise.
+    block: Optional[BlockSpec] = None
+
+    def __post_init__(self) -> None:
+        if float(self.rtol) < 0.0:
+            raise ValueError(f"rtol must be non-negative, got {self.rtol}")
+        if float(self.atol) < 0.0:
+            raise ValueError(f"atol must be non-negative, got {self.atol}")
+        if self.max_iterations is not None:
+            if int(self.max_iterations) < 1:
+                raise ValueError(
+                    f"max_iterations must be positive, got {self.max_iterations}")
+            object.__setattr__(self, "max_iterations", int(self.max_iterations))
+        if isinstance(self.resilience, Mapping):
+            object.__setattr__(self, "resilience",
+                               ResilienceSpec.from_dict(self.resilience))
+        if isinstance(self.block, Mapping):
+            object.__setattr__(self, "block", BlockSpec.from_dict(self.block))
+        object.__setattr__(self, "overlap_spmv", bool(self.overlap_spmv))
+        object.__setattr__(self, "engine", bool(self.engine))
+        object.__setattr__(self, "preconditioner_options",
+                           dict(self.preconditioner_options))
+
+    # -- derivation -----------------------------------------------------------
+    def with_overrides(self, **overrides: Any) -> "SolveSpec":
+        """A new spec with *overrides* applied.
+
+        Top-level :class:`SolveSpec` field names override directly;
+        :class:`ResilienceSpec` / :class:`BlockSpec` field names (``phi``,
+        ``placement``, ``failures``, ``local_solver_method``, ``local_rtol``,
+        ``reconstruction_form`` / ``n_cols``, ``fuse_reductions``) are routed
+        into the corresponding extension, creating it with defaults if absent.
+        Unknown names raise ``ValueError``.
+        """
+        own = {f.name for f in fields(self)}
+        top = {k: v for k, v in overrides.items() if k in own}
+        res = {k: v for k, v in overrides.items() if k in _RESILIENCE_FIELDS}
+        blk = {k: v for k, v in overrides.items() if k in _BLOCK_FIELDS}
+        unknown = sorted(set(overrides) - own
+                         - set(_RESILIENCE_FIELDS) - set(_BLOCK_FIELDS))
+        if unknown:
+            raise ValueError(
+                f"unknown SolveSpec override(s) {unknown}; top-level fields: "
+                f"{sorted(own)}, resilience fields: "
+                f"{sorted(_RESILIENCE_FIELDS)}, block fields: "
+                f"{sorted(_BLOCK_FIELDS)}"
+            )
+        spec = replace(self, **top) if top else self
+        if res:
+            base = spec.resilience if spec.resilience is not None \
+                else ResilienceSpec()
+            spec = replace(spec, resilience=replace(base, **res))
+        if blk:
+            base = spec.block if spec.block is not None else BlockSpec()
+            spec = replace(spec, block=replace(base, **blk))
+        return spec
+
+    def resolved_solver(self, *, multi_rhs: bool = False) -> str:
+        """The registry name this spec dispatches to.
+
+        Explicit :attr:`solver` wins; otherwise a multi-RHS right-hand side
+        (or an attached :class:`BlockSpec`) selects ``"block_pcg"``, an
+        attached :class:`ResilienceSpec` selects ``"resilient_pcg"``, and the
+        plain ``"pcg"`` is the fallback.
+        """
+        if self.solver is not None:
+            return str(self.solver)
+        if multi_rhs or self.block is not None:
+            return "block_pcg"
+        if self.resilience is not None:
+            return "resilient_pcg"
+        return "pcg"
+
+    # -- serialization ---------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain JSON-serializable dictionary; ``from_dict`` round-trips it.
+
+        Raises ``ValueError`` when :attr:`preconditioner` holds a built
+        instance (name-based specs are the serializable configuration
+        surface).
+        """
+        if isinstance(self.preconditioner, Preconditioner):
+            raise ValueError(
+                "a SolveSpec holding a Preconditioner instance is not "
+                "serializable; use a registered preconditioner name instead"
+            )
+        return {
+            "solver": self.solver,
+            "rtol": self.rtol,
+            "atol": self.atol,
+            "max_iterations": self.max_iterations,
+            "overlap_spmv": self.overlap_spmv,
+            "engine": self.engine,
+            "preconditioner": self.preconditioner,
+            "preconditioner_options": dict(self.preconditioner_options),
+            "resilience": (self.resilience.to_dict()
+                           if self.resilience is not None else None),
+            "block": self.block.to_dict() if self.block is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SolveSpec":
+        """Rebuild a spec from :meth:`to_dict` output (or hand-written JSON)."""
+        _check_unknown_keys(data, [f.name for f in fields(cls)], "SolveSpec")
+        kwargs = dict(data)
+        if kwargs.get("resilience") is not None:
+            kwargs["resilience"] = ResilienceSpec.from_dict(kwargs["resilience"])
+        if kwargs.get("block") is not None:
+            kwargs["block"] = BlockSpec.from_dict(kwargs["block"])
+        return cls(**kwargs)

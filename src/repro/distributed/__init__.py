@@ -9,7 +9,7 @@ PETSc-style ``MatMult`` -- see :mod:`repro.distributed.spmv_engine`).
 
 from .comm_context import CommunicationContext, ScatterEdge
 from .dmatrix import DistributedMatrix
-from .dmultivector import DistributedMultiVector
+from .dmultivector import DistributedMultiVector, fused_dots, norms_from_dots
 from .dvector import DistributedVector, swap_names
 from .partition import BlockRowPartition
 from .spmv import (
@@ -33,6 +33,8 @@ __all__ = [
     "SpmvEngine",
     "distributed_spmv",
     "distributed_spmv_block",
+    "fused_dots",
+    "norms_from_dots",
     "ghost_values_for",
     "halo_exchange_cost",
     "spmv_compute_cost",

@@ -33,7 +33,7 @@ dot, so its per-column results are bit-identical to
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -243,25 +243,7 @@ class DistributedMultiVector(NodeBlockStore):
         partial dots in one payload: message count of a scalar allreduce,
         ``k``-fold volume (cf. Sec. 4.2's latency-dominated reductions).
         """
-        self._check_compatible(other)
-        contributions: Dict[int, np.ndarray] = {}
-        for rank in range(self.partition.n_parts):
-            node = self.cluster.node(rank)
-            if alive_only and not node.is_alive:
-                continue
-            # Row-contiguous transposed copies so each column dot runs the
-            # same contiguous-BLAS path as the single-vector ``dot``.
-            mine = np.ascontiguousarray(self.get_block(rank).T)
-            theirs = (mine if other is self
-                      else np.ascontiguousarray(other.get_block(rank).T))
-            contributions[rank] = np.array(
-                [mine[j] @ theirs[j] for j in range(self.n_cols)]
-            )
-        self._charge_block_op(2.0, n_rows=participating_max_block_size(
-            self.partition, contributions) if alive_only else None)
-        total = self.cluster.comm.allreduce_sum(contributions,
-                                                alive_only=alive_only)
-        return np.asarray(total, dtype=np.float64)
+        return fused_dots([(self, other)], alive_only=alive_only)[0]
 
     def gram(self, other: "DistributedMultiVector", *,
              alive_only: bool = False) -> np.ndarray:
@@ -299,12 +281,7 @@ class DistributedMultiVector(NodeBlockStore):
         :meth:`DistributedVector.norm2`; only tiny negative rounding residue
         is clamped.
         """
-        values = self.dots(self, alive_only=alive_only)
-        out = np.empty(self.n_cols)
-        for j, value in enumerate(values):
-            out[j] = (float("nan") if np.isnan(value)
-                      else float(np.sqrt(max(value, 0.0))))
-        return out
+        return norms_from_dots(self.dots(self, alive_only=alive_only))
 
     # -- validation ----------------------------------------------------------
     def _check_column(self, j: int) -> int:
@@ -332,3 +309,78 @@ class DistributedMultiVector(NodeBlockStore):
             f"DistributedMultiVector(name={self.name!r}, n={self.partition.n}, "
             f"k={self.n_cols}, N={self.partition.n_parts})"
         )
+
+
+def norms_from_dots(values: np.ndarray) -> np.ndarray:
+    """Per-column norms from already-reduced ``x^T x`` values.
+
+    The post-processing :meth:`DistributedMultiVector.norms2` applies after
+    its reduction -- NaN propagates per column, tiny negative rounding
+    residue is clamped -- factored out so callers that obtained the dot
+    values through a fused reduction (:func:`fused_dots`) produce
+    bit-identical norms.
+    """
+    out = np.empty(len(values))
+    for j, value in enumerate(values):
+        out[j] = (float("nan") if np.isnan(value)
+                  else float(np.sqrt(max(value, 0.0))))
+    return out
+
+
+def fused_dots(pairs, *, alive_only: bool = False) -> List[np.ndarray]:
+    """Per-column dots of several multi-vector pairs through **one** allreduce.
+
+    ``fused_dots([(x1, y1), ..., (xm, ym)])`` returns the ``m`` per-column
+    dot-product vectors that ``[x.dots(y) for x, y in pairs]`` would, but
+    ships all ``m * k`` partial sums in a single collective: one allreduce
+    message per tree hop instead of ``m`` (the volume is unchanged -- the
+    same scalars move, batched).  This is the reduction-fusing lever of the
+    ROADMAP ("fuse the trailing reductions"):
+    :class:`~repro.core.block_pcg.BlockPCG` with ``fuse_reductions=True``
+    uses it to ship ``R^T Z`` and ``R^T R`` together, dropping the
+    per-iteration reduction count from 3 to 2.
+
+    Every component is **bit-identical** to the corresponding unfused
+    :meth:`DistributedMultiVector.dots` result: the local partial dots are
+    computed by the same kernel on the same buffers (``dots`` itself is a
+    single-pair call of this function, so there is exactly one copy of the
+    kernel), and
+    :meth:`~repro.cluster.communicator.Communicator.allreduce_sum`
+    accumulates the concatenated payload elementwise in the same rank order
+    as the separate calls.  Only the ledger differs (fewer allreduce
+    messages / latency terms; the local compute charge is the sum of the
+    pairs' individual charges).
+    """
+    pairs = [(x, y) for x, y in pairs]
+    if not pairs:
+        raise ValueError("fused_dots needs at least one (x, y) pair")
+    first = pairs[0][0]
+    for x, y in pairs:
+        x._check_compatible(y)
+        first._check_compatible(x)
+    cluster = first.cluster
+    partition = first.partition
+    k = first.n_cols
+    contributions: Dict[int, np.ndarray] = {}
+    for rank in range(partition.n_parts):
+        node = cluster.node(rank)
+        if alive_only and not node.is_alive:
+            continue
+        parts = []
+        for x, y in pairs:
+            # Same contiguous-BLAS gather as ``dots`` so each component runs
+            # the identical kernel on identical data.
+            mine = np.ascontiguousarray(x.get_block(rank).T)
+            theirs = (mine if y is x
+                      else np.ascontiguousarray(y.get_block(rank).T))
+            parts.append(np.array([mine[j] @ theirs[j] for j in range(k)]))
+        contributions[rank] = np.concatenate(parts)
+    n_rows = (participating_max_block_size(partition, contributions)
+              if alive_only else None)
+    for x, _ in pairs:
+        x._charge_block_op(2.0, n_rows=n_rows)
+    total = np.asarray(
+        cluster.comm.allreduce_sum(contributions, alive_only=alive_only),
+        dtype=np.float64,
+    )
+    return [total[i * k:(i + 1) * k].copy() for i in range(len(pairs))]

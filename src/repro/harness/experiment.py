@@ -26,10 +26,11 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..cluster.cost_model import MachineModel
-from ..core.api import distribute_problem, resilient_solve, reference_solve
+from ..core.api import distribute_problem, solve
 from ..core.metrics import residual_difference_of
 from ..core.pcg import DistributedSolveResult
 from ..core.redundancy import BackupPlacement
+from ..core.spec import ResilienceSpec, SolveSpec
 from ..failures.scenarios import (
     PAPER_FAILURE_COUNTS,
     PAPER_PROGRESS_FRACTIONS,
@@ -50,7 +51,16 @@ logger = get_logger("harness.experiment")
 
 @dataclass
 class ExperimentConfig:
-    """Configuration shared by all runs of one matrix study."""
+    """Configuration shared by all runs of one matrix study.
+
+    A thin wrapper over the declarative solver configuration: the
+    solver-facing fields compose into a :class:`~repro.core.spec.SolveSpec`
+    (plus a :class:`~repro.core.spec.ResilienceSpec` for resilient runs, see
+    :meth:`solve_spec`), which every run dispatches through
+    :func:`repro.solve`; the remaining fields describe the study itself
+    (which matrix, cluster size, repetitions, RNG seeding, machine
+    calibration).
+    """
 
     #: Suite matrix id ("M1" ... "M8"); ignored if ``matrix`` is given.
     matrix_id: str = "M5"
@@ -100,6 +110,27 @@ class ExperimentConfig:
         if self.matrix is not None:
             return f"custom(n={self.matrix.shape[0]})"
         return self.matrix_id
+
+    def solve_spec(self, *, phi: Optional[int] = None,
+                   failures=()) -> SolveSpec:
+        """The :class:`SolveSpec` for one run of this study.
+
+        ``phi=None`` describes a reference (plain PCG) run; any other value
+        attaches a :class:`ResilienceSpec` with this config's placement and
+        local-solver options plus the given failure schedule.
+        """
+        resilience = None
+        if phi is not None:
+            resilience = ResilienceSpec(
+                phi=phi, placement=self.placement, failures=tuple(failures),
+                local_solver_method=self.local_solver_method,
+                local_rtol=self.local_rtol,
+            )
+        return SolveSpec(
+            solver="pcg" if resilience is None else "resilient_pcg",
+            rtol=self.rtol, max_iterations=self.max_iterations,
+            preconditioner=self.preconditioner, resilience=resilience,
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -207,17 +238,12 @@ def _single_run(config: ExperimentConfig, matrix: sp.csr_matrix, *,
                 phi: Optional[int], scenario: Optional[FailureScenario],
                 reference_iterations: Optional[int], rep_seed: int
                 ) -> DistributedSolveResult:
-    """One solver run on a freshly built cluster."""
+    """One solver run on a freshly built cluster, via the ``solve`` façade."""
     problem = distribute_problem(
         matrix, n_nodes=config.n_nodes,
         machine=config.build_machine(matrix.shape[0]),
         seed=rep_seed,
     )
-    if phi is None:
-        return reference_solve(
-            problem, preconditioner=config.preconditioner, rtol=config.rtol,
-            max_iterations=config.max_iterations,
-        )
     failures = ()
     if scenario is not None:
         if reference_iterations is None:
@@ -230,13 +256,7 @@ def _single_run(config: ExperimentConfig, matrix: sp.csr_matrix, *,
             reference_iterations=reference_iterations,
             rng=as_rng(rep_seed),
         )
-    return resilient_solve(
-        problem, phi=phi, preconditioner=config.preconditioner,
-        failures=failures, placement=config.placement, rtol=config.rtol,
-        max_iterations=config.max_iterations,
-        local_solver_method=config.local_solver_method,
-        local_rtol=config.local_rtol,
-    )
+    return solve(problem, spec=config.solve_spec(phi=phi, failures=failures))
 
 
 def _run_many(config: ExperimentConfig, label: str, *, phi: Optional[int],

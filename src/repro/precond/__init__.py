@@ -2,7 +2,12 @@
 
 from .base import Preconditioner, PreconditionerForm
 from .block_jacobi import BlockJacobiPreconditioner
-from .factory import PRECONDITIONERS, describe_all, make_preconditioner
+from .factory import (
+    describe_all,
+    make_preconditioner,
+    register_preconditioner,
+    registered_preconditioners,
+)
 from .ichol import FactorizationError, factorization_residual, ic0, ic0_solve
 from .identity import IdentityPreconditioner
 from .jacobi import JacobiPreconditioner
@@ -17,6 +22,8 @@ __all__ = [
     "SSORPreconditioner",
     "SplitCholeskyPreconditioner",
     "make_preconditioner",
+    "register_preconditioner",
+    "registered_preconditioners",
     "describe_all",
     "PRECONDITIONERS",
     "ic0",
@@ -24,3 +31,13 @@ __all__ = [
     "factorization_residual",
     "FactorizationError",
 ]
+
+
+def __getattr__(name: str):
+    # ``PRECONDITIONERS`` is a live view of the factory registry (so names
+    # added via ``register_preconditioner`` after import show up); delegate
+    # instead of snapshotting at package import.
+    if name == "PRECONDITIONERS":
+        from . import factory
+        return factory.PRECONDITIONERS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

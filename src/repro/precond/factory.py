@@ -1,13 +1,16 @@
 """Construction helpers for preconditioners by name.
 
-The experiment harness and the examples refer to preconditioners by short
-string identifiers (``"block_jacobi"``, ``"jacobi"``, ...); this module maps
-those names to configured instances.
+The experiment harness, the :class:`~repro.core.spec.SolveSpec` configuration
+layer and the examples refer to preconditioners by short string identifiers
+(``"block_jacobi"``, ``"jacobi"``, ...); this module maps those names to
+configured instances through a small name registry -- the same pattern
+:class:`~repro.core.registry.SolverRegistry` uses for solvers.  New
+preconditioners plug in with :func:`register_preconditioner`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Tuple
 
 from .base import Preconditioner
 from .block_jacobi import BlockJacobiPreconditioner
@@ -15,54 +18,110 @@ from .identity import IdentityPreconditioner
 from .jacobi import JacobiPreconditioner
 from .ssor import SplitCholeskyPreconditioner, SSORPreconditioner
 
-#: Registered preconditioner names.
-PRECONDITIONERS = (
-    "identity",
-    "none",
-    "jacobi",
-    "block_jacobi",
-    "block_jacobi_ilu",
-    "block_jacobi_ic",
-    "ssor",
-    "split_ic0",
-)
+#: ``name -> (builder, description)``; populated via ``register_preconditioner``.
+_REGISTRY: Dict[str, Tuple[Callable[..., Preconditioner], str]] = {}
+
+
+def register_preconditioner(name: str, description: str = ""
+                            ) -> Callable[[Callable[..., Preconditioner]],
+                                          Callable[..., Preconditioner]]:
+    """Decorator registering a preconditioner builder under *name*."""
+    key = str(name).lower()
+
+    def decorator(builder: Callable[..., Preconditioner]
+                  ) -> Callable[..., Preconditioner]:
+        _REGISTRY[key] = (builder, description)
+        return builder
+
+    return decorator
+
+
+def registered_preconditioners() -> Tuple[str, ...]:
+    """The registered preconditioner names, sorted."""
+    return tuple(sorted(_REGISTRY))
 
 
 def make_preconditioner(name: str, **kwargs: Any) -> Preconditioner:
     """Build a preconditioner instance from its registered *name*.
 
     Keyword arguments are forwarded to the underlying constructor (e.g.
-    ``omega`` for SSOR, ``n_blocks`` for block Jacobi).
+    ``omega`` for SSOR, ``n_blocks`` for block Jacobi).  An unknown name
+    raises ``ValueError`` listing every registered name.
     """
+    if not isinstance(name, str):
+        # ``str(None) == 'None'`` would silently hit the registered "none"
+        # alias and run unpreconditioned; demand an explicit string.
+        raise TypeError(
+            f"preconditioner name must be a string, got {name!r}")
     key = name.lower()
-    if key in ("identity", "none"):
-        return IdentityPreconditioner()
-    if key == "jacobi":
-        return JacobiPreconditioner()
-    if key == "block_jacobi":
-        return BlockJacobiPreconditioner(block_solver="direct", **kwargs)
-    if key == "block_jacobi_ilu":
-        return BlockJacobiPreconditioner(block_solver="ilu", **kwargs)
-    if key == "block_jacobi_ic":
-        return BlockJacobiPreconditioner(block_solver="ic", **kwargs)
-    if key == "ssor":
-        return SSORPreconditioner(**kwargs)
-    if key == "split_ic0":
-        return SplitCholeskyPreconditioner(**kwargs)
-    raise ValueError(
-        f"unknown preconditioner {name!r}; available: {PRECONDITIONERS}"
-    )
+    try:
+        builder, _ = _REGISTRY[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown preconditioner {name!r}; available: "
+            f"{registered_preconditioners()}"
+        ) from None
+    return builder(**kwargs)
 
 
 def describe_all() -> Dict[str, str]:
     """Short description of every registered preconditioner (for --help text)."""
-    return {
-        "identity": "No preconditioning (plain CG).",
-        "jacobi": "Point Jacobi: M = diag(A).",
-        "block_jacobi": "Block Jacobi over the node partition, exact block solves "
-                        "(the paper's setting).",
-        "block_jacobi_ilu": "Block Jacobi with ILU(0) block solves.",
-        "block_jacobi_ic": "Block Jacobi with IC(0) block solves.",
-        "ssor": "Symmetric successive over-relaxation (sequential).",
-        "split_ic0": "Split preconditioner M = L L^T from incomplete Cholesky.",
-    }
+    return {name: description for name, (_, description)
+            in sorted(_REGISTRY.items())}
+
+
+@register_preconditioner("identity", "No preconditioning (plain CG).")
+def _build_identity(**kwargs: Any) -> Preconditioner:
+    return IdentityPreconditioner(**kwargs)
+
+
+@register_preconditioner("none", "No preconditioning (alias of 'identity').")
+def _build_none(**kwargs: Any) -> Preconditioner:
+    return IdentityPreconditioner(**kwargs)
+
+
+@register_preconditioner("jacobi", "Point Jacobi: M = diag(A).")
+def _build_jacobi(**kwargs: Any) -> Preconditioner:
+    return JacobiPreconditioner(**kwargs)
+
+
+@register_preconditioner(
+    "block_jacobi",
+    "Block Jacobi over the node partition, exact block solves "
+    "(the paper's setting).")
+def _build_block_jacobi(**kwargs: Any) -> Preconditioner:
+    return BlockJacobiPreconditioner(block_solver="direct", **kwargs)
+
+
+@register_preconditioner("block_jacobi_ilu",
+                         "Block Jacobi with ILU(0) block solves.")
+def _build_block_jacobi_ilu(**kwargs: Any) -> Preconditioner:
+    return BlockJacobiPreconditioner(block_solver="ilu", **kwargs)
+
+
+@register_preconditioner("block_jacobi_ic",
+                         "Block Jacobi with IC(0) block solves.")
+def _build_block_jacobi_ic(**kwargs: Any) -> Preconditioner:
+    return BlockJacobiPreconditioner(block_solver="ic", **kwargs)
+
+
+@register_preconditioner("ssor",
+                         "Symmetric successive over-relaxation (sequential).")
+def _build_ssor(**kwargs: Any) -> Preconditioner:
+    return SSORPreconditioner(**kwargs)
+
+
+@register_preconditioner(
+    "split_ic0",
+    "Split preconditioner M = L L^T from incomplete Cholesky.")
+def _build_split_ic0(**kwargs: Any) -> Preconditioner:
+    return SplitCholeskyPreconditioner(**kwargs)
+
+
+def __getattr__(name: str) -> Tuple[str, ...]:
+    # Live view of the registered names (kept for back-compat; prefer
+    # ``registered_preconditioners()``).  Computed on access so names added
+    # through ``register_preconditioner`` after import are included.
+    if name == "PRECONDITIONERS":
+        return registered_preconditioners()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

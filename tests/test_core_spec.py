@@ -1,0 +1,189 @@
+"""Tests for the declarative solver configuration (`repro.core.spec`).
+
+Contract: every spec validates on construction, round-trips through
+``to_dict``/``from_dict`` (including through an actual JSON encode/decode),
+``with_overrides`` routes extension fields to the right sub-spec, and
+``resolved_solver`` implements the documented auto-selection rules.
+"""
+
+import json
+
+import pytest
+
+from repro.cluster import FailureEvent
+from repro.core import BlockSpec, ResilienceSpec, SolveSpec
+from repro.core.redundancy import BackupPlacement
+from repro.core.spec import build_failure_events
+from repro.precond import make_preconditioner
+from repro.precond.base import PreconditionerForm
+
+
+class TestValidation:
+    def test_defaults_are_the_paper_reference(self):
+        spec = SolveSpec()
+        assert spec.solver is None
+        assert spec.rtol == 1e-8
+        assert spec.atol == 0.0
+        assert spec.max_iterations is None
+        assert spec.overlap_spmv is False
+        assert spec.engine is True
+        assert spec.preconditioner == "block_jacobi"
+        assert spec.resilience is None
+        assert spec.block is None
+
+    @pytest.mark.parametrize("kwargs", [
+        {"rtol": -1e-8},
+        {"atol": -1.0},
+        {"max_iterations": 0},
+        {"max_iterations": -3},
+    ])
+    def test_bad_solve_spec_fields_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SolveSpec(**kwargs)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"phi": -1},
+        {"local_rtol": 0.0},
+        {"local_rtol": -1e-14},
+    ])
+    def test_bad_resilience_fields_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ResilienceSpec(**kwargs)
+
+    @pytest.mark.parametrize("n_cols", [0, -2])
+    def test_bad_block_fields_rejected(self, n_cols):
+        with pytest.raises(ValueError):
+            BlockSpec(n_cols=n_cols)
+
+    def test_failure_tuples_normalised_to_events(self):
+        spec = ResilienceSpec(failures=[(10, 3), (20, [4, 5])])
+        assert all(isinstance(e, FailureEvent) for e in spec.failures)
+        assert spec.failures[0].iteration == 10
+        assert spec.failures[0].ranks == (3,)
+        assert spec.failures[1].ranks == (4, 5)
+
+    def test_placement_coerced_from_string(self):
+        spec = ResilienceSpec(placement="next_ranks")
+        assert spec.placement is BackupPlacement.NEXT_RANKS
+
+    def test_reconstruction_form_coerced_from_string(self):
+        value = PreconditionerForm.FORWARD.value
+        spec = ResilienceSpec(reconstruction_form=value)
+        assert spec.reconstruction_form is PreconditionerForm.FORWARD
+
+    def test_nested_specs_coerced_from_mappings(self):
+        spec = SolveSpec(resilience={"phi": 2}, block={"n_cols": 3})
+        assert isinstance(spec.resilience, ResilienceSpec)
+        assert spec.resilience.phi == 2
+        assert isinstance(spec.block, BlockSpec)
+        assert spec.block.n_cols == 3
+
+    def test_build_failure_events_passthrough(self):
+        event = FailureEvent(5, (1,), label="x")
+        assert build_failure_events([event]) == [event]
+
+
+class TestRoundTrip:
+    def full_spec(self):
+        return SolveSpec(
+            solver="resilient_pcg", rtol=1e-10, atol=1e-30,
+            max_iterations=500, overlap_spmv=True, engine=False,
+            preconditioner="ssor", preconditioner_options={"omega": 1.3},
+            resilience=ResilienceSpec(
+                phi=3, placement=BackupPlacement.NEXT_RANKS,
+                failures=[FailureEvent(20, (2, 3), label="outage"),
+                          FailureEvent(20, (5,), during_recovery_of=0)],
+                local_solver_method="direct", local_rtol=1e-12,
+                reconstruction_form=PreconditionerForm.FORWARD,
+            ),
+        )
+
+    def test_default_spec_round_trips(self):
+        spec = SolveSpec()
+        assert SolveSpec.from_dict(spec.to_dict()) == spec
+
+    def test_full_spec_round_trips(self):
+        spec = self.full_spec()
+        assert SolveSpec.from_dict(spec.to_dict()) == spec
+
+    def test_block_spec_round_trips(self):
+        spec = SolveSpec(block=BlockSpec(n_cols=4, fuse_reductions=True))
+        assert SolveSpec.from_dict(spec.to_dict()) == spec
+
+    def test_round_trips_through_actual_json(self):
+        spec = self.full_spec()
+        rebuilt = SolveSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt == spec
+
+    def test_instance_preconditioner_not_serializable(self):
+        spec = SolveSpec(preconditioner=make_preconditioner("jacobi"))
+        with pytest.raises(ValueError, match="not\\s+serializable"):
+            spec.to_dict()
+
+    @pytest.mark.parametrize("cls", [SolveSpec, ResilienceSpec, BlockSpec])
+    def test_unknown_keys_rejected(self, cls):
+        with pytest.raises(ValueError, match="unknown"):
+            cls.from_dict({"definitely_not_a_field": 1})
+
+    def test_unknown_failure_event_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            ResilienceSpec.from_dict(
+                {"failures": [{"iteration": 1, "ranks": [0], "oops": 2}]})
+
+
+class TestWithOverrides:
+    def test_top_level_override(self):
+        spec = SolveSpec().with_overrides(rtol=1e-6, overlap_spmv=True)
+        assert spec.rtol == 1e-6
+        assert spec.overlap_spmv is True
+
+    def test_resilience_fields_routed_and_extension_created(self):
+        spec = SolveSpec().with_overrides(phi=2, failures=[(10, [1])])
+        assert spec.resilience is not None
+        assert spec.resilience.phi == 2
+        assert spec.resilience.failures[0].ranks == (1,)
+
+    def test_resilience_fields_merge_into_existing_extension(self):
+        base = SolveSpec(resilience=ResilienceSpec(
+            phi=3, local_solver_method="direct"))
+        spec = base.with_overrides(phi=1)
+        assert spec.resilience.phi == 1
+        assert spec.resilience.local_solver_method == "direct"
+
+    def test_block_fields_routed(self):
+        spec = SolveSpec().with_overrides(fuse_reductions=True)
+        assert spec.block is not None
+        assert spec.block.fuse_reductions is True
+
+    def test_original_spec_unchanged(self):
+        base = SolveSpec()
+        base.with_overrides(rtol=1e-4, phi=5)
+        assert base.rtol == 1e-8
+        assert base.resilience is None
+
+    def test_unknown_override_rejected_listing_fields(self):
+        with pytest.raises(ValueError) as excinfo:
+            SolveSpec().with_overrides(not_a_knob=1)
+        message = str(excinfo.value)
+        assert "not_a_knob" in message
+        assert "rtol" in message and "phi" in message
+
+
+class TestResolvedSolver:
+    def test_plain_default(self):
+        assert SolveSpec().resolved_solver() == "pcg"
+
+    def test_resilience_selects_resilient(self):
+        spec = SolveSpec(resilience=ResilienceSpec())
+        assert spec.resolved_solver() == "resilient_pcg"
+
+    def test_block_extension_selects_block(self):
+        spec = SolveSpec(block=BlockSpec())
+        assert spec.resolved_solver() == "block_pcg"
+
+    def test_multi_rhs_selects_block(self):
+        assert SolveSpec().resolved_solver(multi_rhs=True) == "block_pcg"
+
+    def test_explicit_name_wins(self):
+        spec = SolveSpec(solver="pcg", block=BlockSpec())
+        assert spec.resolved_solver(multi_rhs=True) == "pcg"
