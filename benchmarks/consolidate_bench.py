@@ -2,15 +2,17 @@
 
 The CI bench smoke job runs the SpMV and solver benchmarks
 (``bench_spmv_engine.py``, ``bench_spmv_overlap.py``,
-``bench_block_pcg.py``) with ``--json`` and merges their outputs into a
-single ``BENCH_spmv.json`` at the repository root, so the performance
-trajectory (engine speedup, overlap gain, multi-RHS amortization, block-PCG
-allreduce amortization) is tracked PR over PR from one artifact.
+``bench_block_pcg.py``, ``bench_resilient_block_pcg.py``) with ``--json``
+and merges their outputs into a single ``BENCH_spmv.json`` at the repository
+root, so the performance trajectory (engine speedup, overlap gain, multi-RHS
+amortization, block-PCG allreduce amortization, resilient-block recovery
+amortization) is tracked PR over PR from one artifact.
 
 Usage::
 
     python benchmarks/consolidate_bench.py --out BENCH_spmv.json \\
-        spmv_engine_bench.json spmv_overlap_bench.json block_pcg_bench.json
+        spmv_engine_bench.json spmv_overlap_bench.json \\
+        block_pcg_bench.json resilient_block_pcg_bench.json
 
 Each input file is stored under its stem (``spmv_engine_bench``, ...); the
 top level carries the generation timestamp and, when available, the current

@@ -62,6 +62,7 @@ from .core import (
     RecoveryReport,
     RedundancyScheme,
     ResilienceSpec,
+    ResilientBlockPCG,
     ResilientPCG,
     SolverRegistry,
     SolveSpec,
@@ -95,6 +96,7 @@ __all__ = [
     "register_solver",
     "DistributedPCG",
     "ResilientPCG",
+    "ResilientBlockPCG",
     "BlockPCG",
     "BlockSolveResult",
     "DistributedSolveResult",

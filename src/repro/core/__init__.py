@@ -32,6 +32,7 @@ from .redundancy import (
     backup_targets,
     paper_backup_target,
 )
+from .resilient_block_pcg import ResilientBlockPCG
 from .resilient_pcg import ResilientPCG
 
 __all__ = [
@@ -40,6 +41,7 @@ __all__ = [
     "DistributedPCG",
     "DistributedSolveResult",
     "ResilientPCG",
+    "ResilientBlockPCG",
     "ESRProtocol",
     "ESRReconstructor",
     "RecoveryReport",

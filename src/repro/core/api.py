@@ -21,6 +21,12 @@ the :class:`DistributedProblem`, invalidated via the matrix's
 >>> result.converged
 True
 
+The extensions compose: the same ``ResilienceSpec`` next to an ``(n, k)``
+right-hand-side block (or an explicit ``BlockSpec``) dispatches to the
+resilient multi-RHS block solver
+(:class:`~repro.core.resilient_block_pcg.ResilientBlockPCG`), so every
+solver reachable through this façade survives node failures.
+
 Keyword overrides are routed into the spec (``repro.solve(problem, phi=3,
 failures=[(20, [2])])`` is the short form of the above), so quick scripts
 never have to spell the dataclasses out.

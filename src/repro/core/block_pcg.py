@@ -100,12 +100,33 @@ class BlockSolveResult:
     simulated_time: float = 0.0
     #: Simulated time spent in failure-free iteration phases.
     simulated_iteration_time: float = 0.0
+    #: Simulated time spent recovering from failures (resilient runs only).
+    simulated_recovery_time: float = 0.0
     #: Per-phase simulated time breakdown.
     time_breakdown: Dict[str, float] = field(default_factory=dict)
+    #: One entry per recovery episode (empty for failure-free/plain runs).
+    recoveries: List[object] = field(default_factory=list)
 
     @property
     def all_converged(self) -> bool:
         return bool(self.converged) and all(self.converged)
+
+    @property
+    def n_failures_recovered(self) -> int:
+        return int(sum(len(getattr(r, "failed_ranks", []))
+                       for r in self.recoveries))
+
+    def summary(self) -> str:
+        """One-line human-readable summary (the block counterpart of
+        :meth:`SolveResult.summary`, reporting the worst column)."""
+        status = ("all converged" if self.all_converged
+                  else "NOT all converged")
+        worst = max(self.true_residual_norms) if self.true_residual_norms \
+            else float("nan")
+        return (
+            f"{status}: k={len(self.converged)}, iterations="
+            f"{list(self.iterations)}, max ||b_j - A x_j|| = {worst:.3e}"
+        )
 
 
 class BlockPCG:
@@ -113,8 +134,13 @@ class BlockPCG:
 
     Mirrors :class:`~repro.core.pcg.DistributedPCG` with ``(n_i, k)`` block
     operands; see the module docstring for the batching/equivalence
-    contract.  The solver has no failure handling -- a node failure raises
-    out of :meth:`solve` (resilient block solves are future work).
+    contract.  Like the single-vector solver it exposes protected hooks
+    (``_after_spmv``, ``_handle_failures``, ``_after_iteration``) that the
+    resilient variant
+    (:class:`~repro.core.resilient_block_pcg.ResilientBlockPCG`) overrides
+    to add the block ESR redundancy exchange and failure recovery; this base
+    class has no failure handling of its own -- a node failure raises out of
+    :meth:`solve`.
     """
 
     #: Prefix for the names of the solver's distributed work blocks.
@@ -176,11 +202,37 @@ class BlockPCG:
         self.ap: Optional[DistributedMultiVector] = None
         #: Per-column r^T z of the current iterates.
         self.rz: Optional[np.ndarray] = None
+        #: Per-column ``beta^(j-1)`` of the recurrences (the block
+        #: counterpart of ``DistributedPCG.beta_prev``; frozen columns carry
+        #: an exact ``0.0``).  The resilient variant replicates and recovers
+        #: this coefficient vector.
+        self.beta_prev: Optional[np.ndarray] = None
         #: Per-column completed-iteration counts.
         self.iterations: Optional[np.ndarray] = None
         #: Columns still iterating (not yet converged / broken down).
         self.active: Optional[np.ndarray] = None
         self.residual_histories: List[List[float]] = []
+
+    # -- hooks overridden by the resilient variant ---------------------------
+    def _on_setup(self) -> None:
+        """Called once after the work blocks have been initialised."""
+
+    def _after_spmv(self, iteration: int) -> None:
+        """Called right after the batched SpMV of *iteration* (halo data just
+        moved -- the block ESR redundancy exchange piggybacks here)."""
+
+    def _handle_failures(self, iteration: int) -> bool:
+        """Check for and recover from node failures.
+
+        Returns true if a recovery took place; the lock-step iteration is
+        then restarted from the top of the loop (the batched SpMV is redone
+        on the recovered state), exactly mirroring
+        :meth:`DistributedPCG._handle_failures`.
+        """
+        return False
+
+    def _after_iteration(self, iteration: int) -> None:
+        """Called at the end of every completed lock-step iteration."""
 
     # -- building blocks ----------------------------------------------------
     def _mvec(self, suffix: str) -> DistributedMultiVector:
@@ -283,7 +335,9 @@ class BlockPCG:
         converged = r_norms <= thresholds
         breakdown = np.zeros(k, dtype=bool)
         self.active = ~converged
+        self.beta_prev = np.zeros(k)
         global_iterations = 0
+        self._on_setup()
         # ``n_reductions`` counts the batched collectives so far; it is
         # exposed via the result so harnesses can verify the one-collective-
         # per-reduction contract without reconstructing the loop's control
@@ -291,8 +345,17 @@ class BlockPCG:
         # reduction).
 
         while np.any(self.active) and global_iterations < self.max_iterations:
-            # --- Alg. 1 line 3 first half: the batched SpMV
+            # --- Alg. 1 line 3 first half: the batched SpMV (and, in the
+            #     resilient variant, the block ESR redundancy exchange)
             self._spmv_p()
+            self._after_spmv(global_iterations)
+            # Node failures strike here (after the halo data of this
+            # iteration has moved, as assumed by the ESR recovery).  If a
+            # recovery ran, restart the lock-step iteration from the top:
+            # the batched SpMV is repeated on the recovered state.
+            if self._handle_failures(global_iterations):
+                continue
+
             pap = self.p.dots(self.ap)
             n_reductions += 1
 
@@ -331,6 +394,7 @@ class BlockPCG:
             # --- line 8: new search directions P = Z + P diag(beta)
             self.p.aypx(beta, self.z)
             self.rz = rz_next
+            self.beta_prev = beta
             self.iterations[self.active] += 1
             global_iterations += 1
 
@@ -344,6 +408,7 @@ class BlockPCG:
             newly_converged = self.active & (r_norms <= thresholds)
             converged |= newly_converged
             self.active &= ~newly_converged
+            self._after_iteration(global_iterations)
 
         return self._build_result(start_snapshot, converged, breakdown,
                                   thresholds, global_iterations, n_reductions)
@@ -389,5 +454,8 @@ class BlockPCG:
             simulated_time=ledger.since(start_snapshot),
             simulated_iteration_time=ledger.since(start_snapshot,
                                                   Phase.ITERATION_PHASES),
+            simulated_recovery_time=ledger.since(start_snapshot,
+                                                 Phase.RECOVERY_PHASES),
             time_breakdown=breakdown_phases,
+            recoveries=list(getattr(self, "recovery_reports", [])),
         )

@@ -19,6 +19,20 @@ state ``(x^(j), r^(j), z^(j), p^(j))`` on the replacement nodes:
 Overlapping failures (new nodes dying while the reconstruction runs,
 Sec. 4.1) are handled by restarting the procedure with the enlarged failed
 set, exactly as the paper prescribes.
+
+**Block (multi-RHS) reconstruction.**  When the reconstructor is built for a
+block protocol (``ESRProtocol(n_cols=k)``) and ``(n, k)`` multi-vector
+operands, the same steps run on whole ``(|I_f|, k)`` row blocks: the
+replicated recurrence coefficient becomes a ``(k,)`` vector, the recovered
+search-direction generations are ``(n_i, k)`` blocks, every sparse product
+is one CSR x dense-block kernel (per-column bit-identical to the
+single-vector matvec), and the two local subsystem solves run through
+:meth:`LocalSubsystemSolver.solve_block` -- **one factorization per failed
+set, amortized over all k columns**, with each column's solution
+bit-identical to a standalone single-vector solve.  Column ``j`` of the
+reconstructed state is therefore bit-identical to what the single-vector
+reconstruction would produce for column ``j`` alone, and the charges reduce
+exactly to the single-vector ones at ``k = 1``.
 """
 
 from __future__ import annotations
@@ -86,6 +100,16 @@ class ESRReconstructor:
         self.local_solver_method = local_solver_method
         self.local_rtol = local_rtol
         self._requested_form = reconstruction_form
+        #: ``None`` for single-vector reconstruction; the column count ``k``
+        #: for block reconstruction (derived from the ESR protocol, which is
+        #: the component that stores the copies being recovered).
+        self.n_cols = esr.n_cols
+        rhs_cols = getattr(rhs, "n_cols", None)
+        if rhs_cols != self.n_cols:
+            raise ValueError(
+                f"right-hand side has n_cols={rhs_cols} but the ESR protocol "
+                f"protects n_cols={self.n_cols} operands"
+            )
         # The right-hand side is static data: make sure it is in reliable storage.
         self.ensure_static_data_stored()
 
@@ -134,11 +158,14 @@ class ESRReconstructor:
             The iteration ``j`` whose state is being restored (the SpMV of
             iteration ``j`` has already distributed copies of ``p^(j)``).
         x, r, z, p:
-            The solver's distributed state vectors; blocks of the failed
-            ranks are rewritten in place on the replacement nodes.
+            The solver's distributed state vectors -- or, for a block
+            reconstructor (``ESRProtocol(n_cols=k)``), its ``(n, k)``
+            multi-vectors; blocks of the failed ranks are rewritten in place
+            on the replacement nodes.
         beta_fallback:
-            Value of ``beta^(j-1)`` to use if no replicated copy can be found
-            (only relevant in artificial test setups).
+            Value of ``beta^(j-1)`` -- a ``(k,)`` coefficient vector for
+            block reconstruction -- to use if no replicated copy can be
+            found (only relevant in artificial test setups).
         overlap_provider:
             Callable returning ranks that failed *while this reconstruction
             was running*; when it returns a non-empty list the reconstruction
@@ -205,13 +232,26 @@ class ESRReconstructor:
             rhs_block = cluster.storage.retrieve(
                 (self._rhs_storage_name(), rank), charge=True
             )
-            self.rhs.set_block(rank, np.array(rhs_block, copy=True))
+            self.rhs.restore_block(rank, rhs_block)
 
-        # Step 2/3: replicated scalar and the two most recent search directions.
+        # Step 2/3: replicated scalar(s) and the two most recent search
+        # directions.  Block reconstruction recovers the per-column ``(k,)``
+        # coefficient vector and ``(n_i, k)`` generation blocks instead; the
+        # recurrence below broadcasts per column, so column ``j`` is computed
+        # exactly as the single-vector reconstruction would compute it.
         try:
-            beta_prev = self.esr.recover_replicated_scalar("beta")
+            if self.n_cols is None:
+                beta_prev = self.esr.recover_replicated_scalar("beta")
+            else:
+                beta_prev = self.esr.recover_replicated_vector("beta")
         except UnrecoverableStateError:
-            beta_prev = float(beta_fallback)
+            if self.n_cols is None:
+                beta_prev = float(beta_fallback)
+            else:
+                beta_prev = np.broadcast_to(
+                    np.asarray(beta_fallback, dtype=np.float64),
+                    (self.n_cols,)
+                ).astype(np.float64)
             report.notes.append("beta recovered from driver fallback")
 
         p_cur_blocks: Dict[int, np.ndarray] = {}
@@ -221,7 +261,11 @@ class ESRReconstructor:
             if iteration > 0:
                 p_prev_blocks[rank] = self.esr.recover_block(rank, iteration - 1)
             else:
-                p_prev_blocks[rank] = np.zeros(partition.size_of(rank))
+                size = partition.size_of(rank)
+                p_prev_blocks[rank] = (
+                    np.zeros(size) if self.n_cols is None
+                    else np.zeros((size, self.n_cols))
+                )
 
         # Step 4: z_{I_f} = p^(j)_{I_f} - beta^(j-1) p^(j-1)_{I_f}
         z_blocks = {
@@ -230,7 +274,9 @@ class ESRReconstructor:
         }
         ledger.add_time(
             Phase.RECOVERY_COMPUTE,
-            ledger.model.vector_op_time(int(failed_indices.size), 2.0),
+            ledger.model.vector_op_time(
+                int(failed_indices.size) * self._width(), 2.0
+            ),
         )
 
         # Steps 5-6: reconstruct the residual r_{I_f}.
@@ -247,12 +293,14 @@ class ESRReconstructor:
         if local_stats_x is not None:
             report.local_solve_stats.append(local_stats_x)
 
-        # Write everything back onto the replacement nodes.
+        # Write everything back onto the replacement nodes (the shared
+        # restore path of the distributed containers: defensive copies, same
+        # code for single-vector and (n_i, k) multi-vector state).
         for rank in failed:
-            p.set_block(rank, p_cur_blocks[rank])
-            z.set_block(rank, z_blocks[rank])
-            r.set_block(rank, r_blocks[rank])
-            x.set_block(rank, x_blocks[rank])
+            p.restore_block(rank, p_cur_blocks[rank])
+            z.restore_block(rank, z_blocks[rank])
+            r.restore_block(rank, r_blocks[rank])
+            x.restore_block(rank, x_blocks[rank])
         # Replicate the recovered scalar on the replacement nodes as well.
         self.esr.store_replicated_scalars(iteration, beta=beta_prev)
 
@@ -263,7 +311,7 @@ class ESRReconstructor:
         form = self.reconstruction_form()
         partition = self.partition
         z_failed = np.concatenate([z_blocks[rank] for rank in failed]) if failed \
-            else np.zeros(0)
+            else self._empty()
 
         if form is PreconditionerForm.IDENTITY:
             r_failed = z_failed.copy()
@@ -282,18 +330,21 @@ class ESRReconstructor:
             p_sub = p_rows[:, failed_indices]
             solver = LocalSubsystemSolver(self.local_solver_method,
                                           rtol=self.local_rtol)
-            r_failed = solver.solve(p_sub, v)
+            r_failed = self._local_solve(solver, p_sub, v)
             self._charge_local_solve(solver)
             return self._split_to_blocks(failed, r_failed), solver.last_stats
 
         # FORWARD (and SPLIT, which reduces to it): r_{I_f} = M_{I_f, I} z.
         # One compressed matvec over all referenced columns: survivor values
         # are gathered through the index maps, the failed part comes from the
-        # freshly reconstructed z_{I_f}.
+        # freshly reconstructed z_{I_f}.  For block reconstruction the
+        # operand is a (cols, k) slab and the product one CSR x dense-block
+        # kernel (per-column bit-identical to the single-vector matvec).
         m_rows = self.preconditioner.forward_rows(failed_indices)
         cols = _referenced_columns(m_rows, failed_indices)
         is_failed_col = np.isin(cols, failed_indices)
-        z_values = np.zeros(cols.size)
+        z_values = np.zeros((cols.size,) if self.n_cols is None
+                            else (cols.size, self.n_cols))
         z_values[~is_failed_col] = self._gather_survivor_values(
             z, failed, cols[~is_failed_col], purpose="z"
         )
@@ -303,7 +354,9 @@ class ESRReconstructor:
         r_failed = m_rows[:, cols].tocsr() @ z_values
         self.cluster.ledger.add_time(
             Phase.RECOVERY_COMPUTE,
-            self.cluster.ledger.model.spmv_time(int(m_rows.nnz)),
+            self.cluster.ledger.model.spmv_time(
+                int(m_rows.nnz) * self._width()
+            ),
         )
         return self._split_to_blocks(failed, r_failed), None
 
@@ -315,9 +368,9 @@ class ESRReconstructor:
         partition = self.partition
         b_failed = np.concatenate([
             self.rhs.get_block(rank) for rank in failed
-        ]) if failed else np.zeros(0)
+        ]) if failed else self._empty()
         r_failed = np.concatenate([r_blocks[rank] for rank in failed]) if failed \
-            else np.zeros(0)
+            else self._empty()
 
         surv_cols = _referenced_columns(a_rows, failed_indices,
                                         survivors_only=True)
@@ -328,17 +381,40 @@ class ESRReconstructor:
         w = b_failed - r_failed - off_diag @ x_values
         self.cluster.ledger.add_time(
             Phase.RECOVERY_COMPUTE,
-            self.cluster.ledger.model.spmv_time(int(off_diag.nnz)),
+            self.cluster.ledger.model.spmv_time(
+                int(off_diag.nnz) * self._width()
+            ),
         )
 
         a_sub = a_rows[:, failed_indices]
         solver = LocalSubsystemSolver(self.local_solver_method,
                                       rtol=self.local_rtol)
-        x_failed = solver.solve(a_sub, w)
+        x_failed = self._local_solve(solver, a_sub, w)
         self._charge_local_solve(solver)
         return self._split_to_blocks(failed, x_failed), solver.last_stats
 
     # -- helpers ----------------------------------------------------------------------------------------
+    def _width(self) -> int:
+        """Column count entering the block charge model (1 for vectors)."""
+        return 1 if self.n_cols is None else self.n_cols
+
+    def _empty(self) -> np.ndarray:
+        """An empty operand of the reconstructor's shape family."""
+        return np.zeros(0) if self.n_cols is None \
+            else np.zeros((0, self.n_cols))
+
+    def _local_solve(self, solver: LocalSubsystemSolver, matrix,
+                     rhs: np.ndarray) -> np.ndarray:
+        """Single- or multi-RHS local solve, dispatched on the operand shape.
+
+        The block path shares one factorization across the columns
+        (:meth:`LocalSubsystemSolver.solve_block`) while keeping each
+        column's solution bit-identical to a standalone solve.
+        """
+        if rhs.ndim == 2:
+            return solver.solve_block(matrix, rhs)
+        return solver.solve(matrix, rhs)
+
     def _split_to_blocks(self, failed: List[int], concatenated: np.ndarray
                          ) -> Dict[int, np.ndarray]:
         """Split a vector over ``I_f`` (sorted rank order) into per-rank blocks."""
@@ -366,7 +442,9 @@ class ESRReconstructor:
         """
         partition = self.partition
         ledger = self.cluster.ledger
-        out = np.empty(columns.size)
+        width = self._width()
+        out = np.empty((columns.size,) if self.n_cols is None
+                       else (columns.size, self.n_cols))
         if columns.size:
             owners = partition.owner_of(columns)
             uniq, starts = np.unique(owners, return_index=True)
@@ -377,7 +455,8 @@ class ESRReconstructor:
                 start, _ = partition.range_of(rank)
                 out[lo:hi] = vector.get_block(rank)[columns[lo:hi] - start]
         # Charge the gather: each surviving sender ships the elements the failed
-        # rows reference (the reverse of the SpMV scatter towards the failed rank).
+        # rows reference (the reverse of the SpMV scatter towards the failed
+        # rank); block gathers ship all k columns in the same message.
         for dst in failed:
             for src in self.context.senders_to(dst):
                 if src in failed:
@@ -387,8 +466,9 @@ class ESRReconstructor:
                     continue
                 latency = self.cluster.topology.latency(src, dst)
                 ledger.add_time(Phase.RECOVERY_COMM,
-                                ledger.model.message_time(latency, count))
-                ledger.add_traffic(Phase.RECOVERY_COMM, 1, count)
+                                ledger.model.message_time(latency,
+                                                          count * width))
+                ledger.add_traffic(Phase.RECOVERY_COMM, 1, count * width)
         return out
 
     def _charge_local_solve(self, solver: LocalSubsystemSolver) -> None:

@@ -272,13 +272,19 @@ class RedundancyScheme:
         )
 
     # -- communication overhead (Sec. 4.2) ---------------------------------------------
-    def round_overhead_times(self, topology: Topology, model) -> List[float]:
-        """Per-round redundancy overhead ``max_i (lambda_ik? + |R^c_ik| mu)``.
+    def round_overhead_times(self, topology: Topology, model,
+                             n_cols: int = 1) -> List[float]:
+        """Per-round redundancy overhead ``max_i (lambda_ik? + |R^c_ik| n_cols mu)``.
 
         The latency term is only paid when the extras cannot piggyback on an
         SpMV message that goes to the same backup anyway (``S_{i,d_ik}``
-        empty), exactly as analysed in Sec. 4.2.
+        empty), exactly as analysed in Sec. 4.2.  For block (multi-RHS)
+        solves with ``n_cols > 1`` every extra set ships all ``n_cols``
+        columns of its elements in the same message -- the latency term is
+        unchanged and only the volume term scales, mirroring how the halo
+        exchange charge scales with the column count.
         """
+        mu = model.element_transfer_time
         times: List[float] = []
         for k in range(1, self.phi + 1):
             worst = 0.0
@@ -289,18 +295,30 @@ class RedundancyScheme:
                     continue
                 piggyback = self.context.send_count(owner, target) > 0
                 latency = 0.0 if piggyback else topology.latency(owner, target)
-                cost = latency + extra * model.element_transfer_time
+                cost = latency + extra * n_cols * mu
                 worst = max(worst, cost)
             times.append(worst)
         return times
 
-    def per_iteration_overhead_time(self, topology: Topology, model) -> float:
-        """Total redundancy overhead per iteration (sum of the round maxima)."""
-        return float(sum(self.round_overhead_times(topology, model)))
+    def per_iteration_overhead_time(self, topology: Topology, model,
+                                    n_cols: int = 1) -> float:
+        """Total redundancy overhead per iteration (sum of the round maxima).
 
-    def overhead_bounds(self, topology: Topology, model) -> Tuple[float, float]:
-        """Lower/upper bounds of Sec. 4.2: ``[max_i sum_k |R^c_ik| mu, phi (lambda_max + ceil(n/N) mu)]``."""
-        mu = model.element_transfer_time
+        ``n_cols`` scales the volume term only (see
+        :meth:`round_overhead_times`); at ``n_cols=1`` this is exactly the
+        single-vector charge.
+        """
+        return float(sum(self.round_overhead_times(topology, model,
+                                                   n_cols=n_cols)))
+
+    def overhead_bounds(self, topology: Topology, model,
+                        n_cols: int = 1) -> Tuple[float, float]:
+        """Lower/upper bounds of Sec. 4.2: ``[max_i sum_k |R^c_ik| mu, phi (lambda_max + ceil(n/N) mu)]``.
+
+        For block solves (``n_cols > 1``) the volume terms of both bounds
+        scale with the column count, matching :meth:`round_overhead_times`.
+        """
+        mu = model.element_transfer_time * n_cols
         lower = max(
             (sum(info.extra_counts) for info in self._owners.values()), default=0
         ) * mu
@@ -309,8 +327,13 @@ class RedundancyScheme:
         )
         return float(lower), float(upper)
 
-    def extra_traffic_per_iteration(self) -> Tuple[int, int]:
-        """``(messages, elements)`` of extra redundancy traffic per iteration."""
+    def extra_traffic_per_iteration(self, n_cols: int = 1) -> Tuple[int, int]:
+        """``(messages, elements)`` of extra redundancy traffic per iteration.
+
+        With ``n_cols > 1`` (block solves) each extra set ships all columns
+        in one message: the message count is independent of the column count
+        and the element volume scales with it.
+        """
         messages = 0
         elements = 0
         for owner, info in self._owners.items():
@@ -318,7 +341,7 @@ class RedundancyScheme:
                 extra = info.extra_counts[k0]
                 if extra == 0:
                     continue
-                elements += extra
+                elements += extra * n_cols
                 if self.context.send_count(owner, target) == 0:
                     messages += 1
         return messages, elements

@@ -4,9 +4,12 @@ Mirrors :mod:`repro.precond.factory`: solvers are registered under short
 string names and built from a declarative configuration.  The façade
 (:func:`repro.core.api.solve`) resolves the name with
 :meth:`SolveSpec.resolved_solver` and calls :meth:`SolverRegistry.build`;
-new scenarios (resilient block solves, coupled block-CG, ...) plug in as a
+new scenarios (coupled block-CG, ...) plug in as a
 ``@register_solver("name")`` builder plus whatever :class:`SolveSpec`
-extension they need -- no new top-level helper required.
+extension they need -- no new top-level helper required.  The resilient
+block solver composes the two existing extensions: a ``SolveSpec`` carrying
+*both* a ``ResilienceSpec`` and a multi-RHS block dispatches to
+``"resilient_block_pcg"``.
 
 A builder receives ``(problem, rhs, preconditioner, spec)`` -- the
 distributed problem, the already-normalised right-hand side
@@ -25,6 +28,7 @@ from ..distributed.dmultivector import DistributedMultiVector
 from ..distributed.dvector import DistributedVector
 from .block_pcg import BlockPCG
 from .pcg import DistributedPCG
+from .resilient_block_pcg import ResilientBlockPCG
 from .resilient_pcg import ResilientPCG
 from .spec import BlockSpec, ResilienceSpec, SolveSpec
 
@@ -98,9 +102,11 @@ def _require_no_block(spec: SolveSpec, solver: str) -> None:
 
 def _require_no_resilience(spec: SolveSpec, solver: str) -> None:
     if spec.resilience is not None:
+        suggestion = "resilient_block_pcg" if solver == "block_pcg" \
+            else "resilient_pcg"
         raise ValueError(
             f"solver {solver!r} does not understand a ResilienceSpec; use "
-            "solver='resilient_pcg' for ESR-protected solves"
+            f"solver={suggestion!r} for ESR-protected solves"
         )
 
 
@@ -137,10 +143,9 @@ def build_resilient_pcg(problem, rhs, preconditioner,
     )
 
 
-@register_solver("block_pcg")
-def build_block_pcg(problem, rhs, preconditioner, spec: SolveSpec) -> BlockPCG:
-    """The lock-step multi-RHS block PCG (no failure handling yet)."""
-    _require_no_resilience(spec, "block_pcg")
+def _normalize_block_rhs(problem, rhs, spec: SolveSpec
+                         ) -> DistributedMultiVector:
+    """Promote a single-vector rhs to a ``k = 1`` block and validate ``n_cols``."""
     block = spec.block if spec.block is not None else BlockSpec()
     if isinstance(rhs, DistributedVector):
         # Single-vector input solved through the block path as a k = 1 block.
@@ -152,8 +157,37 @@ def build_block_pcg(problem, rhs, preconditioner, spec: SolveSpec) -> BlockPCG:
             f"BlockSpec expects n_cols={block.n_cols} right-hand sides but "
             f"the RHS block carries {rhs.n_cols}"
         )
+    return rhs
+
+
+@register_solver("block_pcg")
+def build_block_pcg(problem, rhs, preconditioner, spec: SolveSpec) -> BlockPCG:
+    """The lock-step multi-RHS block PCG (no failure handling)."""
+    _require_no_resilience(spec, "block_pcg")
+    block = spec.block if spec.block is not None else BlockSpec()
+    rhs = _normalize_block_rhs(problem, rhs, spec)
     return BlockPCG(
         problem.matrix, rhs, preconditioner,
+        rtol=spec.rtol, atol=spec.atol, max_iterations=spec.max_iterations,
+        context=problem.context, overlap_spmv=spec.overlap_spmv,
+        engine=spec.engine, fuse_reductions=block.fuse_reductions,
+    )
+
+
+@register_solver("resilient_block_pcg")
+def build_resilient_block_pcg(problem, rhs, preconditioner,
+                              spec: SolveSpec) -> ResilientBlockPCG:
+    """The ESR-protected multi-RHS block PCG (ResilienceSpec + BlockSpec)."""
+    res = spec.resilience if spec.resilience is not None else ResilienceSpec()
+    block = spec.block if spec.block is not None else BlockSpec()
+    rhs = _normalize_block_rhs(problem, rhs, spec)
+    injector = FailureInjector(list(res.failures)) if res.failures else None
+    return ResilientBlockPCG(
+        problem.matrix, rhs, preconditioner,
+        phi=res.phi, placement=res.placement, failure_injector=injector,
+        local_solver_method=res.local_solver_method,
+        local_rtol=res.local_rtol,
+        reconstruction_form=res.reconstruction_form,
         rtol=spec.rtol, atol=spec.atol, max_iterations=spec.max_iterations,
         context=problem.context, overlap_spmv=spec.overlap_spmv,
         engine=spec.engine, fuse_reductions=block.fuse_reductions,

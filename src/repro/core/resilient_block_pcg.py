@@ -1,0 +1,120 @@
+"""Resilient block PCG: multi-RHS solves that survive multiple node failures.
+
+:class:`ResilientBlockPCG` composes the two halves this library grew
+separately: the lock-step multi-RHS :class:`~repro.core.block_pcg.BlockPCG`
+(batched SpMV, block BLAS-1, ``k``-wide allreduces, column freezing) and the
+paper's ESR resilience (redundant search-direction copies after every SpMV,
+exact state reconstruction after up to ``phi`` simultaneous or overlapping
+node failures).  The ESR machinery is the *block* variant throughout:
+
+* after every batched SpMV, each holder stores ``(rows, k)`` slices of the
+  two most recent search-direction blocks, staged through the fused block
+  staging that rides the batched SpMV's already-staged ``(pool, k)`` send
+  pool (one memcpy on the failure-free path; see :mod:`repro.core.esr`);
+* the extra redundancy traffic is charged with the block charge model --
+  message count and latency terms independent of ``k``, volume scaling with
+  ``k`` -- exactly mirroring how the batched halo exchange is charged;
+* the per-column recurrence coefficients ``beta^(j-1)`` are replicated as one
+  ``(k,)`` vector and recovered with a single message;
+* recovery rebuilds all ``k`` columns of every lost ``(n_i, k)`` row block
+  with one reverse scatter and **one local multi-RHS solve per failed set**
+  (factorization amortized over the columns, see
+  :meth:`~repro.solvers.local_solver.LocalSubsystemSolver.solve_block`).
+
+**Equivalence contract** (pinned by ``tests/test_core_resilient_block_pcg.py``
+and ``benchmarks/bench_resilient_block_pcg.py``):
+
+* with no failure events and ``phi = 0`` the run is bit-identical to
+  :class:`BlockPCG` in iterates *and* ledger charges; with ``phi > 0`` the
+  iterates stay bit-identical and the charges differ only by the per-
+  iteration redundancy overhead;
+* at ``k = 1`` the run is charge-identical to :class:`ResilientPCG` under
+  the same failure schedule (every block charge reduces exactly to its
+  single-vector counterpart);
+* under a failure schedule that strikes while the columns are active, each
+  recovered column's iterates and residual history are bit-identical to a
+  sequential :class:`ResilientPCG` solve of that column hit by the same
+  schedule;
+* column freezing interacts correctly with recovery: converged/broken
+  columns of a failed rank are restored along with the rest of the block
+  (their reconstructed values are exact up to the local-solver tolerance)
+  but stay frozen -- their histories do not grow and their coefficients
+  remain an exact ``0.0``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cluster.failure import FailureInjector
+from ..distributed.comm_context import CommunicationContext
+from ..distributed.dmatrix import DistributedMatrix
+from ..distributed.dmultivector import DistributedMultiVector
+from ..precond.base import Preconditioner, PreconditionerForm
+from ..utils.logging import get_logger
+from .block_pcg import BlockPCG
+from .redundancy import BackupPlacement
+from .resilient_pcg import EsrResilienceMixin
+
+logger = get_logger("core.resilient_block_pcg")
+
+
+class ResilientBlockPCG(EsrResilienceMixin, BlockPCG):
+    """Lock-step multi-RHS PCG protected by block ESR redundancy.
+
+    Parameters
+    ----------
+    matrix, rhs, preconditioner:
+        As for :class:`~repro.core.block_pcg.BlockPCG` (``rhs`` is an
+        ``(n, k)`` :class:`DistributedMultiVector`); the preconditioner must
+        be block-diagonal.
+    phi:
+        Number of redundant copies kept per search-direction row block, i.e.
+        the maximum number of simultaneous or overlapping node failures the
+        solver can tolerate.  Must satisfy ``0 <= phi < N``.
+    placement:
+        Backup-node placement strategy (Eqn. (5) by default).
+    failure_injector:
+        Optional schedule of failure events to strike during the solve.
+    local_solver_method, local_rtol:
+        Configuration of the reconstruction's local subsystem solver; the
+        block reconstruction shares one factorization across all ``k``
+        columns.
+    reconstruction_form:
+        Force a particular reconstruction variant; by default the
+        preconditioner's natural form is used.
+
+    The remaining keyword arguments (``rtol``/``atol``/``max_iterations``/
+    ``context``/``overlap_spmv``/``engine``/``fuse_reductions``) are those of
+    :class:`BlockPCG`.
+    """
+
+    vector_prefix = "resilient_bpcg"
+
+    def __init__(self, matrix: DistributedMatrix,
+                 rhs: DistributedMultiVector,
+                 preconditioner: Optional[Preconditioner] = None, *,
+                 phi: int = 1,
+                 placement: BackupPlacement = BackupPlacement.PAPER,
+                 failure_injector: Optional[FailureInjector] = None,
+                 local_solver_method: str = "pcg_ilu",
+                 local_rtol: float = 1e-14,
+                 reconstruction_form: Optional[PreconditionerForm] = None,
+                 rtol: float = 1e-8, atol: float = 0.0,
+                 max_iterations: Optional[int] = None,
+                 context: Optional[CommunicationContext] = None,
+                 overlap_spmv: bool = False,
+                 engine: bool = True,
+                 fuse_reductions: bool = False):
+        super().__init__(matrix, rhs, preconditioner, rtol=rtol, atol=atol,
+                         max_iterations=max_iterations, context=context,
+                         overlap_spmv=overlap_spmv, engine=engine,
+                         fuse_reductions=fuse_reductions)
+        self._init_resilience(
+            phi=phi, placement=placement, failure_injector=failure_injector,
+            local_solver_method=local_solver_method, local_rtol=local_rtol,
+            reconstruction_form=reconstruction_form,
+            n_cols=self.n_cols,
+        )
+    # ``solve`` comes from EsrResilienceMixin: the BlockPCG loop plus the
+    # resilience metadata decoration, shared verbatim with ResilientPCG.

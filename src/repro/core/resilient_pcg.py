@@ -15,6 +15,15 @@ A failure-free run of this class (with ``phi >= 1``) measures the
 "relative overhead undisturbed" column of Table 2; runs with injected
 failures measure the reconstruction time and the "overhead with failures"
 columns.
+
+The ESR driving logic -- protocol/reconstructor construction, the
+``_after_spmv`` redundancy exchange, and the ``_handle_failures`` recovery
+orchestration with overlapping-failure restarts -- is shared with the
+multi-RHS variant (:class:`~repro.core.resilient_block_pcg.
+ResilientBlockPCG`) through :class:`EsrResilienceMixin`: the single-vector
+and the block solver drive byte-for-byte the same failure path, only the
+operand types (vectors vs. ``(n_i, k)`` blocks) and the replicated
+recurrence coefficient (scalar vs. ``(k,)`` vector) differ.
 """
 
 from __future__ import annotations
@@ -28,55 +37,31 @@ from ..distributed.dvector import DistributedVector
 from ..precond.base import Preconditioner, PreconditionerForm
 from ..utils.logging import get_logger
 from .esr import ESRProtocol
-from .pcg import DistributedPCG, DistributedSolveResult
+from .pcg import DistributedPCG
 from .reconstruction import ESRReconstructor, RecoveryReport
 from .redundancy import BackupPlacement, RedundancyScheme
 
 logger = get_logger("core.resilient_pcg")
 
 
-class ResilientPCG(DistributedPCG):
-    """PCG protected against up to ``phi`` simultaneous/overlapping node failures.
+class EsrResilienceMixin:
+    """ESR-resilience plumbing shared by the resilient solvers.
 
-    Parameters
-    ----------
-    matrix, rhs, preconditioner:
-        As for :class:`~repro.core.pcg.DistributedPCG`; the preconditioner
-        must be block-diagonal (the paper uses block Jacobi).
-    phi:
-        Number of redundant copies kept per search-direction block, i.e. the
-        maximum number of simultaneous or overlapping node failures the
-        solver can tolerate.  Must satisfy ``0 <= phi < N``.
-    placement:
-        Backup-node placement strategy (Eqn. (5) by default).
-    failure_injector:
-        Optional schedule of failure events to strike during the solve.
-    local_solver_method, local_rtol:
-        Configuration of the reconstruction's local subsystem solver
-        (``"pcg_ilu"`` with ``1e-14`` in the paper).
-    reconstruction_form:
-        Force a particular reconstruction variant (``P`` given / ``M`` given /
-        split); by default the preconditioner's natural form is used.
+    Expects the host class to provide the solver substrate (``cluster``,
+    ``context``, ``matrix``, ``rhs``, ``preconditioner``, and the live state
+    operands ``x``/``r``/``z``/``p`` plus ``beta_prev``); adds the redundancy
+    scheme, the ESR protocol, the reconstructor, and the failure-handling
+    driver the solver hooks call.  ``n_cols=None`` selects single-vector
+    protection, ``n_cols=k`` block protection (the only difference between
+    :class:`ResilientPCG` and :class:`~repro.core.resilient_block_pcg.
+    ResilientBlockPCG`'s failure paths).
     """
 
-    vector_prefix = "resilient_pcg"
-
-    def __init__(self, matrix: DistributedMatrix, rhs: DistributedVector,
-                 preconditioner: Optional[Preconditioner] = None, *,
-                 phi: int = 1,
-                 placement: BackupPlacement = BackupPlacement.PAPER,
-                 failure_injector: Optional[FailureInjector] = None,
-                 local_solver_method: str = "pcg_ilu",
-                 local_rtol: float = 1e-14,
-                 reconstruction_form: Optional[PreconditionerForm] = None,
-                 rtol: float = 1e-8, atol: float = 0.0,
-                 max_iterations: Optional[int] = None,
-                 context: Optional[CommunicationContext] = None,
-                 overlap_spmv: bool = False,
-                 engine: bool = True):
-        super().__init__(matrix, rhs, preconditioner, rtol=rtol, atol=atol,
-                         max_iterations=max_iterations, context=context,
-                         overlap_spmv=overlap_spmv, engine=engine)
+    def _init_resilience(self, *, phi: int, placement: BackupPlacement,
+                         failure_injector: Optional[FailureInjector],
+                         local_solver_method: str, local_rtol: float,
+                         reconstruction_form: Optional[PreconditionerForm],
+                         n_cols: Optional[int] = None) -> None:
         if phi < 0:
             raise ValueError(f"phi must be non-negative, got {phi}")
         if failure_injector is not None:
@@ -89,13 +74,15 @@ class ResilientPCG(DistributedPCG):
                 )
         self.phi = int(phi)
         self.placement = placement
-        self.scheme = RedundancyScheme(self.context, self.phi, placement=placement)
+        self.scheme = RedundancyScheme(self.context, self.phi,
+                                       placement=placement)
         # Handing the matrix to the protocol lets the fused redundancy
-        # staging reuse the SpMV engine's already-staged send pool each
-        # iteration instead of re-gathering the natural halo values.
+        # staging reuse the SpMV engine's already-staged send pool (single-
+        # vector or batched) each iteration instead of re-gathering the
+        # natural halo values.
         self.esr = ESRProtocol(self.cluster, self.context, self.phi,
                                placement=placement, scheme=self.scheme,
-                               matrix=self.matrix)
+                               matrix=self.matrix, n_cols=n_cols)
         self.reconstructor = ESRReconstructor(
             self.cluster, self.matrix, self.rhs, self.preconditioner,
             self.context, self.esr,
@@ -108,7 +95,7 @@ class ResilientPCG(DistributedPCG):
 
     # -- hooks ------------------------------------------------------------------
     def _after_spmv(self, iteration: int) -> None:
-        """Keep the redundant copies and replicate the recurrence scalar."""
+        """Keep the redundant copies and replicate the recurrence scalar(s)."""
         self.esr.after_spmv(self.p, iteration)
         self.esr.store_replicated_scalars(iteration, beta=self.beta_prev)
 
@@ -163,10 +150,61 @@ class ResilientPCG(DistributedPCG):
         return provider
 
     # -- result assembly ------------------------------------------------------------
-    def solve(self, x0=None) -> DistributedSolveResult:
+    def solve(self, x0=None):
+        """Run the host solver's loop, then decorate the result with the
+        resilience metadata (the host's ``_build_result`` already collected
+        the recovery reports)."""
         result = super().solve(x0)
         result.info["phi"] = self.phi
         result.info["placement"] = self.placement.value
         result.info["redundancy"] = self.esr.overhead_summary()
-        result.recoveries = list(self.recovery_reports)
         return result
+
+
+class ResilientPCG(EsrResilienceMixin, DistributedPCG):
+    """PCG protected against up to ``phi`` simultaneous/overlapping node failures.
+
+    Parameters
+    ----------
+    matrix, rhs, preconditioner:
+        As for :class:`~repro.core.pcg.DistributedPCG`; the preconditioner
+        must be block-diagonal (the paper uses block Jacobi).
+    phi:
+        Number of redundant copies kept per search-direction block, i.e. the
+        maximum number of simultaneous or overlapping node failures the
+        solver can tolerate.  Must satisfy ``0 <= phi < N``.
+    placement:
+        Backup-node placement strategy (Eqn. (5) by default).
+    failure_injector:
+        Optional schedule of failure events to strike during the solve.
+    local_solver_method, local_rtol:
+        Configuration of the reconstruction's local subsystem solver
+        (``"pcg_ilu"`` with ``1e-14`` in the paper).
+    reconstruction_form:
+        Force a particular reconstruction variant (``P`` given / ``M`` given /
+        split); by default the preconditioner's natural form is used.
+    """
+
+    vector_prefix = "resilient_pcg"
+
+    def __init__(self, matrix: DistributedMatrix, rhs: DistributedVector,
+                 preconditioner: Optional[Preconditioner] = None, *,
+                 phi: int = 1,
+                 placement: BackupPlacement = BackupPlacement.PAPER,
+                 failure_injector: Optional[FailureInjector] = None,
+                 local_solver_method: str = "pcg_ilu",
+                 local_rtol: float = 1e-14,
+                 reconstruction_form: Optional[PreconditionerForm] = None,
+                 rtol: float = 1e-8, atol: float = 0.0,
+                 max_iterations: Optional[int] = None,
+                 context: Optional[CommunicationContext] = None,
+                 overlap_spmv: bool = False,
+                 engine: bool = True):
+        super().__init__(matrix, rhs, preconditioner, rtol=rtol, atol=atol,
+                         max_iterations=max_iterations, context=context,
+                         overlap_spmv=overlap_spmv, engine=engine)
+        self._init_resilience(
+            phi=phi, placement=placement, failure_injector=failure_injector,
+            local_solver_method=local_solver_method, local_rtol=local_rtol,
+            reconstruction_form=reconstruction_form,
+        )

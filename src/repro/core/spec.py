@@ -196,8 +196,10 @@ class SolveSpec:
     """
 
     #: Registered solver name (``"pcg"``, ``"resilient_pcg"``,
-    #: ``"block_pcg"``, or any name added via ``register_solver``).  ``None``
-    #: auto-selects: block PCG for a multi-RHS block, resilient PCG when a
+    #: ``"block_pcg"``, ``"resilient_block_pcg"``, or any name added via
+    #: ``register_solver``).  ``None`` auto-selects: resilient block PCG for
+    #: a multi-RHS block with a :class:`ResilienceSpec` attached, block PCG
+    #: for a plain multi-RHS block, resilient PCG when only a
     #: :class:`ResilienceSpec` is attached, plain PCG otherwise.
     solver: Optional[str] = None
     #: Relative/absolute convergence tolerances on the recurrence residual.
@@ -283,13 +285,18 @@ class SolveSpec:
         """The registry name this spec dispatches to.
 
         Explicit :attr:`solver` wins; otherwise a multi-RHS right-hand side
-        (or an attached :class:`BlockSpec`) selects ``"block_pcg"``, an
-        attached :class:`ResilienceSpec` selects ``"resilient_pcg"``, and the
+        (or an attached :class:`BlockSpec`) selects ``"block_pcg"`` -- or
+        ``"resilient_block_pcg"`` when a :class:`ResilienceSpec` is attached
+        as well (the two extensions compose) -- an attached
+        :class:`ResilienceSpec` alone selects ``"resilient_pcg"``, and the
         plain ``"pcg"`` is the fallback.
         """
         if self.solver is not None:
             return str(self.solver)
-        if multi_rhs or self.block is not None:
+        block_like = multi_rhs or self.block is not None
+        if block_like and self.resilience is not None:
+            return "resilient_block_pcg"
+        if block_like:
             return "block_pcg"
         if self.resilience is not None:
             return "resilient_pcg"

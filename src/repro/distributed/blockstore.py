@@ -44,8 +44,25 @@ class NodeBlockStore:
       :class:`~repro.distributed.partition.BlockRowPartition`;
     * ``self._key()`` -- the node-memory key the blocks are stored under;
     * ``self.get_block(rank)`` -- the block of *rank* (raising
-      :class:`~repro.cluster.errors.NodeFailedError` on failed nodes).
+      :class:`~repro.cluster.errors.NodeFailedError` on failed nodes);
+    * ``self.set_block(rank, values)`` -- overwrite the block of *rank*
+      (shape-validated by the host class).
     """
+
+    def restore_block(self, rank: int, values: np.ndarray) -> None:
+        """Write a recovered block onto (replacement) node *rank*.
+
+        The recovery-path counterpart of ``set_block``, used by the ESR
+        reconstruction to re-install reconstructed state -- single-vector
+        blocks and ``(n_i, k)`` multi-vector blocks alike -- on the
+        replacement nodes the ULFM runtime provided.  The values are
+        defensively copied so the reconstruction's driver-side work buffers
+        can never alias node-local memory (a later in-place block update
+        must not silently rewrite the driver's recovery records, and vice
+        versa).  Writing to a failed node raises ``NodeFailedError`` exactly
+        like ``set_block``.
+        """
+        self.set_block(rank, np.array(values, dtype=np.float64, copy=True))
 
     def has_block(self, rank: int) -> bool:
         """True if *rank* is alive and holds a block of this container."""

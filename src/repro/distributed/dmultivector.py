@@ -7,7 +7,10 @@ memory.  Block-Krylov and multi-RHS workloads use it with the batched
 ``Y = A X`` kernel of the SpMV engine
 (:meth:`~repro.distributed.spmv_engine.SpmvEngine.apply_block`) and the
 block BLAS-1 operations below; :class:`~repro.core.block_pcg.BlockPCG` is
-the solver built on top of both.
+the solver built on top of both, and
+:class:`~repro.core.resilient_block_pcg.ResilientBlockPCG` adds block ESR
+protection (redundant ``(rows, k)`` copies, reconstruction of lost blocks
+re-installed through the shared ``restore_block`` recovery write path).
 
 **Block BLAS-1.**  ``copy``/``fill``/``scale``/``axpy``/``aypx``/``assign``
 operate on whole ``(n_i, k)`` blocks; coefficients may be scalars (applied to
@@ -146,8 +149,10 @@ class DistributedMultiVector(NodeBlockStore):
         j = self._check_column(j)
         return self._assemble(lambda block: block[:, j], ())
 
-    # ``has_block`` / ``available_ranks`` / ``lost_ranks`` / ``delete`` come
-    # from :class:`NodeBlockStore` (shared with ``DistributedVector``).
+    # ``has_block`` / ``available_ranks`` / ``lost_ranks`` / ``delete`` and
+    # the recovery write path ``restore_block`` (defensive-copy writes of
+    # reconstructed ``(n_i, k)`` blocks onto replacement nodes) come from
+    # :class:`NodeBlockStore` (shared with ``DistributedVector``).
 
     # -- elementwise / block BLAS-1 operations -------------------------------
     def _coefficient(self, alpha: Coefficient) -> Union[float, np.ndarray]:

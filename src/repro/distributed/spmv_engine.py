@@ -217,6 +217,9 @@ class SpmvEngine:
         self._pool_source: Optional[weakref.ReferenceType] = None
         #: Per column count k: staged ``(pool, k)`` buffers for multi-RHS.
         self._block_pools: Dict[int, np.ndarray] = {}
+        #: Weak reference to the multi-vector the block pool was last staged
+        #: from, plus its column count (see :meth:`block_pool_staged_from`).
+        self._block_pool_source: Optional[Tuple[weakref.ReferenceType, int]] = None
         #: Per dst: ``[(src, lo, hi, local_idx)]`` runs of the sorted ghost
         #: set grouped by owner (lazy; see :meth:`ghost_values_for`).
         self._ghost_runs: Dict[int, List[Tuple[int, int, int, np.ndarray]]] = {}
@@ -494,6 +497,28 @@ class SpmvEngine:
         """
         return self._pool_source is not None and self._pool_source() is x
 
+    def block_send_pool(self, n_rhs: int) -> Optional[np.ndarray]:
+        """The staged ``(pool, k)`` multi-RHS send pool for *n_rhs* columns.
+
+        ``None`` until a batched SpMV of that column count ran; consumers
+        (the fused block ESR staging) must first confirm via
+        :meth:`block_pool_staged_from` that it holds the block they expect.
+        """
+        return self._block_pools.get(int(n_rhs))
+
+    def block_pool_staged_from(self, x: "DistributedMultiVector") -> bool:
+        """True if the block send pool holds the staged values of block *x*.
+
+        The batched counterpart of :meth:`pool_staged_from`: guards the
+        block ESR staging's pool reuse against stale pools (e.g. one staged
+        from a different multi-vector, or from an earlier iteration's
+        operand object).
+        """
+        if self._block_pool_source is None:
+            return False
+        source, n_rhs = self._block_pool_source
+        return source() is x and n_rhs == getattr(x, "n_cols", None)
+
     def apply(self, x: "DistributedVector", out: "DistributedVector"
               ) -> "DistributedVector":
         """Numeric ``out = A x`` (no cost charging; see ``distributed_spmv``).
@@ -582,7 +607,9 @@ class SpmvEngine:
         if pool is None or pool.shape[0] != self._pool.size:
             pool = np.empty((self._pool.size, n_rhs))
             self._block_pools[n_rhs] = pool
+        self._block_pool_source = None
         self._stage_pool_into(x, pool)
+        self._block_pool_source = (weakref.ref(x), n_rhs)
 
         for rank in range(self.partition.n_parts):
             plan = (self._ensure_split(rank) if split else self._plans[rank])

@@ -1,0 +1,175 @@
+"""Regression tests for the deprecated pre-registry shims.
+
+Pins three properties so the shims cannot rot silently:
+
+* each of ``reference_solve`` / ``resilient_solve`` / ``solve_with_failures``
+  emits **exactly one** ``DeprecationWarning`` per call;
+* their signatures are pinned with ``inspect.signature`` -- adding a kwarg
+  without extending the forwarding test below fails loudly (that is how
+  ``solve_with_failures`` once silently dropped ``placement`` /
+  ``local_solver_method`` / ``local_rtol``);
+* **every** documented kwarg is forwarded into the ``SolveSpec`` (or the
+  cluster options) the shim hands to ``repro.solve`` -- asserted against a
+  captured call with non-default values for every single parameter.
+"""
+
+import inspect
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.core.api as api
+from repro.cluster import MachineModel
+from repro.core.api import (
+    distribute_problem,
+    reference_solve,
+    resilient_solve,
+    solve_with_failures,
+)
+from repro.core.redundancy import BackupPlacement
+from repro.matrices import poisson_2d
+
+#: Pinned signatures: every documented kwarg of each shim, in order.
+PINNED_SIGNATURES = {
+    reference_solve: ("problem", "preconditioner", "rtol", "max_iterations"),
+    resilient_solve: ("problem", "phi", "preconditioner", "failures",
+                      "placement", "rtol", "max_iterations",
+                      "local_solver_method", "local_rtol"),
+    solve_with_failures: ("matrix", "rhs", "n_nodes", "phi", "failures",
+                          "preconditioner", "placement", "rtol",
+                          "max_iterations", "local_solver_method",
+                          "local_rtol", "machine", "seed"),
+}
+
+
+@pytest.fixture
+def problem():
+    return distribute_problem(poisson_2d(12), n_nodes=4,
+                              machine=MachineModel(jitter_rel_std=0.0))
+
+
+@pytest.fixture
+def captured_solve(monkeypatch):
+    """Replace api.solve with a recorder returning a dummy result."""
+    calls = []
+
+    def recorder(problem, rhs=None, spec=None, **overrides):
+        calls.append({"problem": problem, "rhs": rhs, "spec": spec,
+                      "overrides": overrides})
+        return "dummy-result"
+
+    monkeypatch.setattr(api, "solve", recorder)
+    return calls
+
+
+class TestSignaturePins:
+    @pytest.mark.parametrize("shim", sorted(PINNED_SIGNATURES,
+                                            key=lambda f: f.__name__))
+    def test_signature_is_pinned(self, shim):
+        """A new kwarg must update this pin AND the forwarding test below --
+        it cannot be added-and-dropped silently again."""
+        assert tuple(inspect.signature(shim).parameters) == \
+            PINNED_SIGNATURES[shim]
+
+
+class TestExactlyOneDeprecationWarning:
+    def assert_one_warning(self, caught, name):
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert name in str(deprecations[0].message)
+        assert "deprecated" in str(deprecations[0].message)
+
+    def test_reference_solve(self, problem):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = reference_solve(problem)
+        self.assert_one_warning(caught, "reference_solve")
+        assert result.converged
+
+    def test_resilient_solve(self, problem):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = resilient_solve(problem, phi=1)
+        self.assert_one_warning(caught, "resilient_solve")
+        assert result.converged
+
+    def test_solve_with_failures(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = solve_with_failures(
+                poisson_2d(12), n_nodes=4,
+                machine=MachineModel(jitter_rel_std=0.0))
+        self.assert_one_warning(caught, "solve_with_failures")
+        assert result.converged
+
+
+class TestEveryKwargForwarded:
+    """Call each shim with a non-default value for EVERY documented kwarg and
+    assert each one lands in the captured SolveSpec / cluster options."""
+
+    def test_reference_solve_forwards_all(self, problem, captured_solve):
+        with pytest.warns(DeprecationWarning):
+            reference_solve(problem, preconditioner="jacobi", rtol=1e-5,
+                            max_iterations=123)
+        (call,) = captured_solve
+        spec = call["spec"]
+        assert call["problem"] is problem
+        assert spec.solver == "pcg"
+        assert spec.preconditioner == "jacobi"
+        assert spec.rtol == 1e-5
+        assert spec.max_iterations == 123
+
+    def test_resilient_solve_forwards_all(self, problem, captured_solve):
+        with pytest.warns(DeprecationWarning):
+            resilient_solve(
+                problem, phi=3, preconditioner="jacobi",
+                failures=[(7, [1])], placement=BackupPlacement.NEXT_RANKS,
+                rtol=1e-5, max_iterations=321,
+                local_solver_method="direct", local_rtol=1e-11,
+            )
+        (call,) = captured_solve
+        spec = call["spec"]
+        assert call["problem"] is problem
+        assert spec.solver == "resilient_pcg"
+        assert spec.preconditioner == "jacobi"
+        assert spec.rtol == 1e-5
+        assert spec.max_iterations == 321
+        res = spec.resilience
+        assert res.phi == 3
+        assert res.placement is BackupPlacement.NEXT_RANKS
+        assert [(e.iteration, list(e.ranks)) for e in res.failures] == \
+            [(7, [1])]
+        assert res.local_solver_method == "direct"
+        assert res.local_rtol == 1e-11
+
+    def test_solve_with_failures_forwards_all(self, captured_solve):
+        matrix = poisson_2d(12)
+        rhs = np.ones(matrix.shape[0])
+        machine = MachineModel(jitter_rel_std=0.0)
+        with pytest.warns(DeprecationWarning):
+            solve_with_failures(
+                matrix, rhs, n_nodes=6, phi=2, failures=[(4, [0, 2])],
+                preconditioner="jacobi",
+                placement=BackupPlacement.NEXT_RANKS, rtol=1e-6,
+                max_iterations=222, local_solver_method="direct",
+                local_rtol=1e-12, machine=machine, seed=99,
+            )
+        (call,) = captured_solve
+        spec = call["spec"]
+        assert call["problem"] is matrix
+        assert call["rhs"] is rhs
+        assert call["overrides"] == {"n_nodes": 6, "machine": machine,
+                                     "seed": 99}
+        assert spec.solver == "resilient_pcg"
+        assert spec.preconditioner == "jacobi"
+        assert spec.rtol == 1e-6
+        assert spec.max_iterations == 222
+        res = spec.resilience
+        assert res.phi == 2
+        assert res.placement is BackupPlacement.NEXT_RANKS
+        assert [(e.iteration, list(e.ranks)) for e in res.failures] == \
+            [(4, [0, 2])]
+        assert res.local_solver_method == "direct"
+        assert res.local_rtol == 1e-12

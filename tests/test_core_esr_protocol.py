@@ -277,6 +277,206 @@ class TestFusedStaging:
         assert np.array_equal(rec, expected[start:stop])
 
 
+def make_block(cluster, partition, iteration, k=3):
+    values = (np.arange(partition.n * k, dtype=float).reshape(partition.n, k)
+              + 1000.0 * iteration)
+    from repro.distributed import DistributedMultiVector
+
+    return DistributedMultiVector.from_global(cluster, partition,
+                                              f"P{iteration}", values)
+
+
+def legacy_block_stores(esr, p, slot):
+    """Reference per-(owner, holder) gather loop for ``(n_i, k)`` blocks."""
+    from repro.cluster.errors import NodeFailedError
+
+    stores = {}
+    for (owner, holder), local_idx in esr._pattern_local.items():
+        if not esr.cluster.node(holder).is_alive:
+            continue
+        try:
+            values = p.get_block(owner)[local_idx]
+        except NodeFailedError:
+            continue
+        stores[(holder, (_ESR_KEY, slot, owner))] = values.copy()
+    return stores
+
+
+class TestBlockStaging:
+    """Block (multi-RHS) redundant stores: byte-identical to the per-pair
+    gather loop, per-column identical to single-vector stores, engine block
+    pool reused, and the per-pair fallback under mid-iteration owner
+    failures pulling whole (rows, k) slices from the staged block buffer."""
+
+    def make_esr(self, cluster, context, phi=2, k=3, matrix=None):
+        return ESRProtocol(cluster, context, phi=phi, matrix=matrix, n_cols=k)
+
+    def assert_stores_equal(self, actual, expected):
+        assert sorted(actual) == sorted(expected)
+        for key in expected:
+            assert actual[key].tobytes() == expected[key].tobytes()
+
+    def test_byte_identical_without_engine(self, setup):
+        cluster, partition, _, context = setup
+        esr = self.make_esr(cluster, context)
+        p = make_block(cluster, partition, 3)
+        expected = legacy_block_stores(esr, p, slot=1)
+        esr.after_spmv(p, 3)
+        self.assert_stores_equal(stored_snapshot(esr, 1), expected)
+
+    def test_per_column_identical_to_single_vector_protocol(self, setup):
+        """Column j of every block store equals what a single-vector
+        protocol stores for column j alone."""
+        cluster, partition, _, context = setup
+        k = 3
+        esr = self.make_esr(cluster, context, k=k)
+        p = make_block(cluster, partition, 0, k=k)
+        esr.after_spmv(p, 0)
+        block_stores = stored_snapshot(esr, 0)
+        for j in range(k):
+            vec_esr = ESRProtocol(cluster, context, phi=2)
+            pj = DistributedVector.from_global(
+                cluster, partition, f"col{j}", p.to_global()[:, j])
+            vec_esr.after_spmv(pj, 0)
+            vec_stores = stored_snapshot(vec_esr, 0)
+            assert sorted(vec_stores) == sorted(block_stores)
+            for key, values in vec_stores.items():
+                assert np.array_equal(block_stores[key][:, j], values)
+
+    def test_engine_block_pool_reused_byte_identical(self, setup):
+        cluster, partition, dist, context = setup
+        from repro.distributed import (
+            DistributedMultiVector,
+            distributed_spmv_block,
+        )
+
+        esr = self.make_esr(cluster, context, matrix=dist)
+        p = make_block(cluster, partition, 4)
+        ap = DistributedMultiVector.zeros(cluster, partition, "AP", p.n_cols)
+        distributed_spmv_block(dist, p, ap, context)  # stages the block pool
+        engine = dist.cached_spmv_engine(context)
+        assert engine is not None and engine.block_pool_staged_from(p)
+        assert engine.block_send_pool(p.n_cols) is not None
+        expected = legacy_block_stores(esr, p, slot=0)
+        esr.after_spmv(p, 4)
+        self.assert_stores_equal(stored_snapshot(esr, 0), expected)
+
+    def test_stale_block_pool_not_reused(self, setup):
+        cluster, partition, dist, context = setup
+        from repro.distributed import (
+            DistributedMultiVector,
+            distributed_spmv_block,
+        )
+
+        esr = self.make_esr(cluster, context, matrix=dist)
+        other = make_block(cluster, partition, 9)
+        ap = DistributedMultiVector.zeros(cluster, partition, "AP",
+                                          other.n_cols)
+        distributed_spmv_block(dist, other, ap, context)
+        p = make_block(cluster, partition, 5)
+        engine = dist.cached_spmv_engine(context)
+        assert engine is not None and not engine.block_pool_staged_from(p)
+        expected = legacy_block_stores(esr, p, slot=1)
+        esr.after_spmv(p, 5)
+        self.assert_stores_equal(stored_snapshot(esr, 1), expected)
+
+    def test_failed_owner_fallback_reuses_block_buffer(self, setup):
+        """Satellite pin: with an owner failing mid-iteration the surviving
+        pairs fall back to per-pair gathers -- one (rows, k) slice pulled
+        from the staged block buffer per pair, never one gather per column
+        -- and the stored copies stay byte-identical to the legacy loop."""
+        cluster, partition, _, context = setup
+        esr = self.make_esr(cluster, context)
+        p0 = make_block(cluster, partition, 0)
+        esr.after_spmv(p0, 0)
+        baseline = stored_snapshot(esr, 0)
+        p2 = make_block(cluster, partition, 2)  # same parity slot as iter 0
+        cluster.fail_nodes([2])
+        expected = legacy_block_stores(esr, p2, slot=0)
+        esr.after_spmv(p2, 2)
+        actual = stored_snapshot(esr, 0)
+        for key in expected:
+            assert actual[key].shape[1] == p2.n_cols
+            assert actual[key].tobytes() == expected[key].tobytes()
+        # Pairs owned by the failed rank keep the previous slot content on
+        # surviving holders (legacy semantics: skip, not delete).
+        for (holder, key), values in baseline.items():
+            if key[2] == 2 and cluster.node(holder).is_alive:
+                assert actual[(holder, key)].tobytes() == values.tobytes()
+
+    def test_recover_block_returns_all_columns(self, setup):
+        cluster, partition, _, context = setup
+        esr = self.make_esr(cluster, context, phi=2)
+        p_prev = make_block(cluster, partition, 6)
+        p_cur = make_block(cluster, partition, 7)
+        esr.after_spmv(p_prev, 6)
+        esr.after_spmv(p_cur, 7)
+        expected_prev = p_prev.to_global()
+        expected_cur = p_cur.to_global()
+        cluster.fail_nodes([2, 3])
+        for rank in (2, 3):
+            start, stop = partition.range_of(rank)
+            rec_cur = esr.recover_block(rank, 7)
+            rec_prev = esr.recover_block(rank, 6)
+            assert rec_cur.shape == (stop - start, 3)
+            assert np.array_equal(rec_cur, expected_cur[start:stop])
+            assert np.array_equal(rec_prev, expected_prev[start:stop])
+
+    def test_replicated_vector_roundtrip(self, setup):
+        cluster, partition, _, context = setup
+        esr = self.make_esr(cluster, context)
+        beta = np.array([0.25, -1.5, 3.0])
+        esr.store_replicated_scalars(5, beta=beta)
+        beta[0] = 99.0  # driver-side mutation must not leak into the copies
+        cluster.fail_nodes([0, 1])
+        recovered = esr.recover_replicated_vector("beta")
+        assert np.array_equal(recovered, [0.25, -1.5, 3.0])
+
+    def test_redundancy_charge_messages_constant_volume_scales(self, setup):
+        cluster, partition, _, context = setup
+        from repro.cluster import Phase as P
+
+        stats = {}
+        for k in (1, 4):
+            fresh = VirtualCluster(6, machine=MachineModel(jitter_rel_std=0.0))
+            esr = ESRProtocol(fresh, context, phi=2, n_cols=k)
+            esr.after_spmv(make_block(fresh, partition, 0, k=k), 0)
+            stats[k] = (fresh.ledger.messages.get(P.REDUNDANCY_COMM, 0),
+                        fresh.ledger.elements.get(P.REDUNDANCY_COMM, 0))
+        assert stats[1][0] == stats[4][0]
+        assert stats[4][1] == 4 * stats[1][1]
+
+    def test_k1_block_protocol_charges_equal_vector_protocol(self, setup):
+        cluster, partition, _, context = setup
+        from repro.cluster import Phase as P
+
+        vec_cluster = VirtualCluster(6,
+                                     machine=MachineModel(jitter_rel_std=0.0))
+        vec_esr = ESRProtocol(vec_cluster, context, phi=2)
+        vec_esr.after_spmv(make_p(vec_cluster, partition, 0), 0)
+        blk_cluster = VirtualCluster(6,
+                                     machine=MachineModel(jitter_rel_std=0.0))
+        blk_esr = ESRProtocol(blk_cluster, context, phi=2, n_cols=1)
+        blk_esr.after_spmv(make_block(blk_cluster, partition, 0, k=1), 0)
+        assert blk_cluster.ledger.times[P.REDUNDANCY_COMM] == \
+            vec_cluster.ledger.times[P.REDUNDANCY_COMM]
+        assert blk_cluster.ledger.elements[P.REDUNDANCY_COMM] == \
+            vec_cluster.ledger.elements[P.REDUNDANCY_COMM]
+
+    def test_mismatched_operand_rejected(self, setup):
+        cluster, partition, _, context = setup
+        esr = self.make_esr(cluster, context, k=3)
+        with pytest.raises(ValueError):
+            esr.after_spmv(make_p(cluster, partition, 0), 0)
+        with pytest.raises(ValueError):
+            esr.after_spmv(make_block(cluster, partition, 0, k=2), 0)
+
+    def test_invalid_n_cols_rejected(self, setup):
+        cluster, _, _, context = setup
+        with pytest.raises(ValueError):
+            ESRProtocol(cluster, context, phi=1, n_cols=0)
+
+
 class TestOverheadSummary:
     def test_summary_fields(self, setup):
         cluster, _, _, context = setup

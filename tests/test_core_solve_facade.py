@@ -200,7 +200,8 @@ class TestDispatchAndNormalization:
 
 class TestRegistry:
     def test_builtin_names_registered(self):
-        assert SOLVERS.names() == ("block_pcg", "pcg", "resilient_pcg")
+        assert SOLVERS.names() == ("block_pcg", "pcg", "resilient_block_pcg",
+                                   "resilient_pcg")
 
     def test_unknown_name_lists_available(self):
         with pytest.raises(ValueError) as excinfo:

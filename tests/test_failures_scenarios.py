@@ -112,18 +112,6 @@ class TestResolveEvents:
         assert PAPER_FAILURE_COUNTS == (1, 3, 8)
         assert PAPER_PROGRESS_FRACTIONS == (0.2, 0.5, 0.8)
 
-    def test_resolved_events_runnable(self):
-        """Resolved events drive an actual resilient solve."""
-        from repro.cluster import MachineModel
-        from repro.core.api import distribute_problem, resilient_solve
-        from repro.matrices import poisson_2d
-
-        scenario = FailureScenario(n_failures=2, progress_fraction=0.5,
-                                   location=FailureLocation.CENTER)
-        events = resolve_events(scenario, n_nodes=4, reference_iterations=30)
-        problem = distribute_problem(poisson_2d(16), n_nodes=4,
-                                     machine=MachineModel(jitter_rel_std=0.0))
-        result = resilient_solve(problem, phi=2, failures=events,
-                                 preconditioner="block_jacobi")
-        assert result.converged
-        assert result.n_failures_recovered == 2
+    # The end-to-end "resolved events drive an actual resilient solve" case
+    # moved into the systematic grid of tests/test_failure_matrix.py
+    # (TestScenarioResolutionIntegration), alongside the block-solver twin.

@@ -60,6 +60,31 @@ class TestExperimentRunner:
         assert result.std() >= 0
         assert result.mean_iterations > 1
 
+    def test_block_studies_run_end_to_end(self):
+        """n_rhs > 1 composes the block solvers harness-side: reference and
+        failure runs both dispatch to the (resilient) block PCG and the
+        repetition records consume BlockSolveResult fields."""
+        config = ExperimentConfig(
+            matrix=poisson_2d(16), n_nodes=4, repetitions=2,
+            preconditioner="block_jacobi", jitter_rel_std=0.0, seed=7,
+            n_rhs=3,
+        )
+        assert config.solve_spec().solver == "block_pcg"
+        assert config.solve_spec(phi=1).solver == "resilient_block_pcg"
+        reference = run_reference(config)
+        assert reference.n == 2
+        assert reference.all_converged
+        assert reference.mean_iterations > 0
+        disturbed = run_with_failures(
+            config, phi=2,
+            scenario=FailureScenario(n_failures=2, progress_fraction=0.5,
+                                     location=FailureLocation.CENTER),
+            reference_iterations=int(reference.mean_iterations),
+        )
+        assert disturbed.all_converged
+        assert disturbed.mean("recovery_time") > 0
+        assert np.isfinite(disturbed.max_abs_residual_deviation())
+
     def test_failure_free_overhead_positive(self, config):
         reference = run_reference(config)
         undisturbed = run_failure_free(config, phi=2)

@@ -12,8 +12,10 @@ from repro.distributed import (
     BlockRowPartition,
     CommunicationContext,
     DistributedMatrix,
+    DistributedMultiVector,
     DistributedVector,
 )
+from repro.distributed.dmultivector import fused_dots
 
 COMMON_SETTINGS = settings(
     max_examples=25, deadline=None,
@@ -147,6 +149,114 @@ def test_dvector_roundtrip_and_dot(n, n_nodes, seed):
     alpha = float(rng.standard_normal())
     a.axpy(alpha, b)
     assert np.allclose(a.to_global(), values + alpha * other)
+
+
+# ---------------------------------------------------------------------------
+# block BLAS-1 / batched-reduction properties (multi-vectors)
+# ---------------------------------------------------------------------------
+
+def _mv_setup(n, n_nodes, k, seed):
+    """Fresh cluster + matching (n, k) multi-vectors and per-column vectors."""
+    rng = np.random.default_rng(seed)
+    xg = rng.standard_normal((n, k))
+    yg = rng.standard_normal((n, k))
+    cluster = VirtualCluster(n_nodes, machine=MachineModel(jitter_rel_std=0.0))
+    partition = BlockRowPartition(n, n_nodes)
+    bx = DistributedMultiVector.from_global(cluster, partition, "X", xg)
+    by = DistributedMultiVector.from_global(cluster, partition, "Y", yg)
+    vcluster = VirtualCluster(n_nodes,
+                              machine=MachineModel(jitter_rel_std=0.0))
+    vx = [DistributedVector.from_global(vcluster, partition, f"x{j}", xg[:, j])
+          for j in range(k)]
+    vy = [DistributedVector.from_global(vcluster, partition, f"y{j}", yg[:, j])
+          for j in range(k)]
+    return rng, xg, yg, bx, by, vx, vy
+
+
+@COMMON_SETTINGS
+@given(n=st.integers(8, 300), n_nodes=st.integers(1, 8),
+       k=st.integers(1, 8), seed=st.integers(0, 10**6),
+       per_column=st.booleans())
+def test_block_blas1_per_column_bit_equal_to_vector_ops(
+        n, n_nodes, k, seed, per_column):
+    """copy/fill/scale/axpy/aypx/assign on (n, k) blocks are per-column
+    bit-identical to the DistributedVector ops, for scalar and per-column
+    coefficients alike."""
+    n_nodes = min(n_nodes, n)
+    rng, xg, yg, bx, by, vx, vy = _mv_setup(n, n_nodes, k, seed)
+    alpha_cols = rng.standard_normal(k)
+    alpha = alpha_cols if per_column else float(alpha_cols[0])
+    alpha_of = (lambda j: float(alpha_cols[j])) if per_column \
+        else (lambda j: float(alpha_cols[0]))
+    fill_value = float(rng.standard_normal())
+
+    # scale
+    bx.scale(alpha)
+    for j in range(k):
+        vx[j].scale(alpha_of(j))
+        assert np.array_equal(bx.column(j), vx[j].to_global())
+    # axpy
+    bx.axpy(alpha, by)
+    for j in range(k):
+        vx[j].axpy(alpha_of(j), vy[j])
+        assert np.array_equal(bx.column(j), vx[j].to_global())
+    # aypx
+    bx.aypx(alpha, by)
+    for j in range(k):
+        vx[j].aypx(alpha_of(j), vy[j])
+        assert np.array_equal(bx.column(j), vx[j].to_global())
+    # copy / assign / fill
+    bc = bx.copy("Xc")
+    for j in range(k):
+        assert np.array_equal(bc.column(j), vx[j].to_global())
+    bc.fill(fill_value)
+    assert np.array_equal(bc.to_global(),
+                          np.full((n, k), fill_value))
+    bc.assign(by)
+    for j in range(k):
+        assert np.array_equal(bc.column(j), vy[j].to_global())
+
+
+@COMMON_SETTINGS
+@given(n=st.integers(8, 300), n_nodes=st.integers(1, 8),
+       k=st.integers(1, 8), seed=st.integers(0, 10**6))
+def test_batched_dots_and_fused_dots_bit_equal_to_vector_dots(
+        n, n_nodes, k, seed):
+    """dots() ships k per-column dots in one collective, fused_dots() ships
+    several pairs in one collective -- every component bit-identical to the
+    single-vector DistributedVector.dot on the same columns."""
+    n_nodes = min(n_nodes, n)
+    _, xg, yg, bx, by, vx, vy = _mv_setup(n, n_nodes, k, seed)
+    dots = bx.dots(by)
+    assert dots.shape == (k,)
+    for j in range(k):
+        assert dots[j] == vx[j].dot(vy[j])
+    fused_xy, fused_xx = fused_dots([(bx, by), (bx, bx)])
+    assert np.array_equal(fused_xy, dots)
+    assert np.array_equal(fused_xx, bx.dots(bx))
+    norms = bx.norms2()
+    for j in range(k):
+        assert norms[j] == vx[j].norm2()
+
+
+@COMMON_SETTINGS
+@given(n=st.integers(8, 300), n_nodes=st.integers(1, 8),
+       k=st.integers(1, 8), seed=st.integers(0, 10**6))
+def test_gram_matches_dense_blocked_product(n, n_nodes, k, seed):
+    """gram() equals the rank-blocked dense X^T Y (bit-identical to summing
+    the per-rank GEMM contributions in rank order) and its diagonal agrees
+    with dots() to rounding."""
+    n_nodes = min(n_nodes, n)
+    _, xg, yg, bx, by, vx, vy = _mv_setup(n, n_nodes, k, seed)
+    gram = bx.gram(by)
+    assert gram.shape == (k, k)
+    partition = bx.partition
+    expected = np.zeros((k, k))
+    for rank in range(n_nodes):
+        start, stop = partition.range_of(rank)
+        expected = expected + xg[start:stop].T @ yg[start:stop]
+    assert np.array_equal(gram, expected)
+    assert np.allclose(np.diag(gram), bx.dots(by), rtol=1e-12, atol=1e-12)
 
 
 # ---------------------------------------------------------------------------

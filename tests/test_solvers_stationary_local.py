@@ -124,3 +124,61 @@ class TestLocalSubsystemSolver:
 
     def test_work_flops_zero_before_solve(self):
         assert LocalSubsystemSolver("direct").work_flops() == 0.0
+
+
+class TestLocalSubsystemSolverBlock:
+    @pytest.fixture
+    def block_subsystem(self):
+        a = poisson_2d(10)
+        sub = a[20:60, 20:60].tocsr()
+        x = np.random.default_rng(3).standard_normal((40, 4))
+        return sub, sub @ x, x
+
+    @pytest.mark.parametrize("method", ["direct", "pcg_ilu", "pcg_jacobi"])
+    def test_columns_bit_identical_to_single_solves(self, block_subsystem,
+                                                    method):
+        """solve_block shares one factorization but every column must be
+        bit-identical to a standalone solve of that column."""
+        a, b, _ = block_subsystem
+        solver = LocalSubsystemSolver(method, rtol=1e-14)
+        x_block = solver.solve_block(a, b)
+        assert x_block.shape == b.shape
+        assert len(solver.last_column_stats) == b.shape[1]
+        for j in range(b.shape[1]):
+            reference = LocalSubsystemSolver(method, rtol=1e-14)
+            assert np.array_equal(x_block[:, j], reference.solve(a, b[:, j]))
+
+    def test_factorization_work_amortized(self, block_subsystem):
+        """The direct method charges one factorization for the whole block:
+        total work < k standalone solves, and per-column bit-identity holds
+        regardless."""
+        a, b, _ = block_subsystem
+        k = b.shape[1]
+        block_solver = LocalSubsystemSolver("direct")
+        block_solver.solve_block(a, b)
+        single = LocalSubsystemSolver("direct")
+        single.solve(a, b[:, 0])
+        assert block_solver.work_flops() < k * single.work_flops()
+        # One factorization (10 nnz) + k triangular solves (2 nnz each).
+        assert block_solver.work_flops() == pytest.approx(
+            10.0 * a.nnz + k * 2.0 * a.nnz)
+
+    def test_k1_block_equals_single_solve_charges(self, block_subsystem):
+        a, b, _ = block_subsystem
+        for method in ("direct", "pcg_ilu"):
+            block_solver = LocalSubsystemSolver(method, rtol=1e-14)
+            x_block = block_solver.solve_block(a, b[:, :1])
+            single = LocalSubsystemSolver(method, rtol=1e-14)
+            x = single.solve(a, b[:, 0])
+            assert np.array_equal(x_block[:, 0], x)
+            assert block_solver.work_flops() == single.work_flops()
+
+    def test_rejects_one_dimensional_rhs(self, block_subsystem):
+        a, b, _ = block_subsystem
+        with pytest.raises(ValueError):
+            LocalSubsystemSolver("direct").solve_block(a, b[:, 0])
+
+    def test_empty_block_system(self):
+        solver = LocalSubsystemSolver("direct")
+        x = solver.solve_block(sp.csr_matrix((0, 0)), np.zeros((0, 3)))
+        assert x.shape == (0, 3)

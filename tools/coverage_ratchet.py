@@ -1,0 +1,87 @@
+"""Coverage ratchet: line coverage may only go up.
+
+CI runs the test suite with ``pytest --cov=repro --cov-report=json`` and then::
+
+    python tools/coverage_ratchet.py check coverage.json .coverage-ratchet.json
+
+which fails the job when the measured total line coverage drops below the
+committed floor in ``.coverage-ratchet.json``.  To raise the floor after a
+coverage improvement, run locally (or in a follow-up commit)::
+
+    python tools/coverage_ratchet.py update coverage.json .coverage-ratchet.json
+
+``update`` never lowers the floor: it writes ``max(current floor, measured -
+MARGIN)``, keeping a small margin so runner-to-runner variation (e.g. python
+version dependent branches) cannot flake the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Slack between the measured coverage and the committed floor.
+MARGIN = 0.5
+
+
+def measured_percent(coverage_json: Path) -> float:
+    """Total line-coverage percent from a ``--cov-report=json`` file."""
+    data = json.loads(coverage_json.read_text())
+    return float(data["totals"]["percent_covered"])
+
+
+def read_floor(ratchet_file: Path) -> float:
+    data = json.loads(ratchet_file.read_text())
+    return float(data["min_line_coverage_percent"])
+
+
+def check(coverage_json: Path, ratchet_file: Path) -> int:
+    measured = measured_percent(coverage_json)
+    floor = read_floor(ratchet_file)
+    print(f"line coverage: measured {measured:.2f}%, "
+          f"committed floor {floor:.2f}%")
+    if measured < floor:
+        print(
+            f"ERROR: coverage regressed below the ratchet floor "
+            f"({measured:.2f}% < {floor:.2f}%). Add tests, or -- if the drop "
+            f"is intentional -- lower {ratchet_file} in the same PR and "
+            f"justify it in the description.",
+            file=sys.stderr,
+        )
+        return 1
+    headroom = measured - floor
+    if headroom > 2.0:
+        print(f"note: {headroom:.2f}% headroom -- consider ratcheting the "
+              f"floor up with the 'update' command")
+    return 0
+
+
+def update(coverage_json: Path, ratchet_file: Path) -> int:
+    measured = measured_percent(coverage_json)
+    current = read_floor(ratchet_file) if ratchet_file.exists() else 0.0
+    new_floor = max(current, round(measured - MARGIN, 2))
+    ratchet_file.write_text(json.dumps(
+        {"min_line_coverage_percent": new_floor}, indent=2) + "\n")
+    print(f"ratchet floor: {current:.2f}% -> {new_floor:.2f}% "
+          f"(measured {measured:.2f}%, margin {MARGIN}%)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("command", choices=("check", "update"))
+    parser.add_argument("coverage_json", type=Path,
+                        help="coverage.json produced by --cov-report=json")
+    parser.add_argument("ratchet_file", type=Path,
+                        help="committed ratchet file "
+                             "(.coverage-ratchet.json)")
+    args = parser.parse_args(argv)
+    if args.command == "check":
+        return check(args.coverage_json, args.ratchet_file)
+    return update(args.coverage_json, args.ratchet_file)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
