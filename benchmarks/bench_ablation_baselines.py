@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import make_config
 from repro.baselines import (
     CheckpointConfig,
     CheckpointRestartPCG,

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import make_config
 from repro.analysis import analyze_overhead
 from repro.core.api import distribute_problem, solve
 from repro.core.redundancy import BackupPlacement

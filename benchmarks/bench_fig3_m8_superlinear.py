@@ -9,7 +9,6 @@ it a particularly favourable case for the ESR scheme (Sec. 5).
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from conftest import make_config

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import make_config
 from repro.harness import render_table1, table1_rows
 from repro.matrices import analyze, build_matrix, get_record
 

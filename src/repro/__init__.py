@@ -34,6 +34,8 @@ right-hand side dispatches there automatically).  Keyword arguments like
 from . import analysis  # noqa: F401  (re-exported subpackages)
 from . import baselines  # noqa: F401
 from . import cluster  # noqa: F401
+from . import lint  # noqa: F401
+from . import sanitizer  # noqa: F401
 from . import core  # noqa: F401
 from . import distributed  # noqa: F401
 from . import failures  # noqa: F401
@@ -78,6 +80,11 @@ from .precond import make_preconditioner
 from .solvers import SolveResult, pcg
 
 __version__ = "1.0.0"
+
+# Opt-in runtime sanitizer: ``REPRO_SANITIZE=1`` (or a comma-separated
+# detector list) activates SimSan for the whole process.  See
+# :mod:`repro.sanitizer`.
+sanitizer.enable_from_env()
 
 __all__ = [
     "__version__",

@@ -18,10 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
-
 from ..cluster.cost_model import MachineModel
-from ..cluster.network import Topology, UniformTopology
+from ..cluster.network import Topology
 from ..core.redundancy import BackupPlacement, RedundancyScheme
 from ..distributed.comm_context import CommunicationContext
 from ..distributed.dmatrix import DistributedMatrix

@@ -12,7 +12,7 @@ throws away up to ``interval - 1`` iterations of work.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 

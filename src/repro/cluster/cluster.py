@@ -9,14 +9,14 @@ the single object that experiment code constructs and passes around.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional
 
 from ..utils.rng import RandomState, as_rng
 from .communicator import Communicator
 from .cost_model import CostLedger, MachineModel
 from .errors import ClusterError
 from .failure import FailureInjector, UlfmRuntime
-from .network import FatTreeTopology, Topology, UniformTopology, default_topology
+from .network import Topology, UniformTopology, default_topology
 from .node import Node
 from .reliable_storage import ReliableStorage
 

@@ -23,7 +23,8 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .cost_model import CostLedger, MachineModel, Phase
+from .. import sanitizer as _sanitizer
+from .cost_model import CostLedger, Phase
 from .errors import CommunicationError, NodeFailedError
 from .network import Topology
 from .node import Node
@@ -96,6 +97,8 @@ class Communicator:
         buffered until the matching :meth:`recv`.
         """
         self._require_alive([src, dst], "send")
+        if _sanitizer._ACTIVE is not None:
+            _sanitizer._ACTIVE.on_send(self, src, dst, tag)
         if charge:
             if n_elements is None:
                 n_elements = _payload_elements(payload)
@@ -179,6 +182,14 @@ class Communicator:
                 f"allreduce contributions have mismatched sizes {sizes}"
             )
         n_scalars = sizes[0]
+        if _sanitizer._ACTIVE is not None:
+            # After the size check: a size mismatch stays a CommunicationError
+            # (the communicator's own contract); the sanitizer adds the
+            # stricter same-shape check on top.
+            _sanitizer._ACTIVE.on_collective(
+                self, "allreduce_sum",
+                {r: contributions[r] for r in participants
+                 if r in contributions})
         # Summed in rank order with a plain Python loop (not np.sum over a
         # stacked array): the accumulation order is part of the numeric
         # contract that batched reductions match their scalar counterparts
@@ -204,6 +215,8 @@ class Communicator:
         if self._nodes[root].is_failed:
             raise CommunicationError("broadcast root has failed",
                                      failed_ranks=[root])
+        if _sanitizer._ACTIVE is not None:
+            _sanitizer._ACTIVE.on_collective(self, "bcast")
         n_elements = _payload_elements(payload)
         n_participants = len(participants)
         levels = math.ceil(math.log2(n_participants)) if n_participants > 1 else 0
@@ -223,6 +236,8 @@ class Communicator:
             self._require_alive(participants, "gather")
         if self._nodes[root].is_failed:
             raise CommunicationError("gather root has failed", failed_ranks=[root])
+        if _sanitizer._ACTIVE is not None:
+            _sanitizer._ACTIVE.on_collective(self, "gather")
         collected: Dict[int, Any] = {}
         for rank in participants:
             if rank not in contributions:
@@ -244,6 +259,8 @@ class Communicator:
         participants = self.alive_ranks() if alive_only else list(range(self.size))
         if not alive_only:
             self._require_alive(participants, "allgather")
+        if _sanitizer._ACTIVE is not None:
+            _sanitizer._ACTIVE.on_collective(self, "allgather")
         present = [r for r in participants if r in contributions]
         if not present:
             return {}
@@ -267,6 +284,8 @@ class Communicator:
         participants = self.alive_ranks() if alive_only else list(range(self.size))
         if not alive_only:
             self._require_alive(participants, "barrier")
+        if _sanitizer._ACTIVE is not None:
+            _sanitizer._ACTIVE.on_collective(self, "barrier")
         self._ledger.add_time(
             phase, self._ledger.model.allreduce_time(len(participants), 0)
         )

@@ -24,6 +24,7 @@ from typing import Dict, Iterable, Mapping, Optional
 
 import numpy as np
 
+from .. import sanitizer as _sanitizer
 from ..utils.rng import RandomState, jittered
 from ..utils.validation import check_nonnegative, check_positive
 
@@ -221,6 +222,8 @@ class CostLedger:
         """Charge *seconds* of simulated time to *phase* (with optional jitter)."""
         if seconds < 0:
             raise ValueError(f"cannot charge negative time {seconds} to {phase}")
+        if _sanitizer._ACTIVE is not None:
+            _sanitizer._ACTIVE.on_charge(phase)
         actual = jittered(self.rng, seconds, self.model.jitter_rel_std)
         self.times[phase] = self.times.get(phase, 0.0) + actual
         return actual
@@ -297,8 +300,12 @@ class CostLedger:
         keys = set(self.times) | set(snapshot)
         if phases is not None:
             keys &= set(phases)
+        # Accumulate in sorted-key order: set iteration is hash-randomised
+        # per process, and a float sum in hash order is bit-unstable across
+        # otherwise identical runs (R005).
         return float(
-            sum(self.times.get(k, 0.0) - snapshot.get(k, 0.0) for k in keys)
+            sum(self.times.get(k, 0.0) - snapshot.get(k, 0.0)
+                for k in sorted(keys))
         )
 
     def reset(self) -> None:

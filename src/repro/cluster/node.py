@@ -11,10 +11,11 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator
 
 import numpy as np
 
+from .. import sanitizer as _sanitizer
 from .errors import NodeFailedError
 
 
@@ -50,9 +51,14 @@ class NodeMemory:
 
     def __setitem__(self, key: Any, value: Any) -> None:
         self._check()
+        if _sanitizer._ACTIVE is not None:
+            _sanitizer._ACTIVE.on_memory_write(self._node, key)
         self._store[key] = value
 
     def __getitem__(self, key: Any) -> Any:
+        # No use-after-failure hook here: a lost key raises a loud KeyError,
+        # which callers (e.g. the SpMV engine's output-block probe) handle
+        # deliberately.  The sanitizer targets the *silent* paths below.
         self._check()
         return self._store[key]
 
@@ -74,14 +80,30 @@ class NodeMemory:
 
     def get(self, key: Any, default: Any = None) -> Any:
         self._check()
+        if _sanitizer._ACTIVE is not None and key not in self._store:
+            # About to silently return the default for a key that may have
+            # been lost in a failure -- the use-after-failure hazard.
+            _sanitizer._ACTIVE.on_memory_read(self._node, key)
         return self._store.get(key, default)
 
     def pop(self, key: Any, *default: Any) -> Any:
         self._check()
+        if _sanitizer._ACTIVE is not None and default \
+                and key not in self._store:
+            _sanitizer._ACTIVE.on_memory_read(self._node, key)
         return self._store.pop(key, *default)
 
     def keys(self):
         self._check()
+        return list(self._store.keys())
+
+    def raw_keys(self):
+        """Keys currently in the raw store, without the liveness check.
+
+        Introspection hook for the runtime sanitizer, which must enumerate
+        the contents of a memory *while its node is failing* (i.e. exactly
+        when the guarded interface refuses access).
+        """
         return list(self._store.keys())
 
     def clear(self) -> None:
@@ -97,6 +119,8 @@ class NodeMemory:
         without a scrub -- must not expose data that predates the operation
         under a now-reassigned key.  Returns True if the key was present.
         """
+        if _sanitizer._ACTIVE is not None:
+            _sanitizer._ACTIVE.on_memory_invalidate(self._node, key)
         return self._store.pop(key, None) is not None
 
     def nbytes(self) -> int:
@@ -160,6 +184,9 @@ class Node:
     # -- failure / replacement lifecycle ----------------------------------
     def fail(self) -> None:
         """Fail-stop this node: erase its memory and mark it failed."""
+        if _sanitizer._ACTIVE is not None:
+            # Tombstones must be recorded before the wipe below.
+            _sanitizer._ACTIVE.on_node_fail(self)
         self.memory.clear()
         self.status = NodeStatus.FAILED
         self.failure_count += 1

@@ -160,7 +160,7 @@ class DistributedProblem:
         return cached
 
 
-def distribute_problem(matrix, rhs: Optional[np.ndarray] = None, *,
+def distribute_problem(matrix: Any, rhs: Optional[np.ndarray] = None, *,
                        n_nodes: int = 8,
                        machine: Optional[MachineModel] = None,
                        topology: Optional[Topology] = None,
@@ -198,7 +198,7 @@ def distribute_problem(matrix, rhs: Optional[np.ndarray] = None, *,
     return DistributedProblem(cluster, partition, a_dist, b_dist, context)
 
 
-def _normalize_rhs(problem: DistributedProblem, rhs
+def _normalize_rhs(problem: DistributedProblem, rhs: Any
                    ) -> Union[DistributedVector, DistributedMultiVector]:
     """Turn *rhs* into a distributed (multi-)vector on *problem*'s cluster."""
     if rhs is None:
@@ -219,7 +219,8 @@ def _normalize_rhs(problem: DistributedProblem, rhs
     raise ValueError(f"rhs must be 1-D or (n, k) 2-D, got shape {values.shape}")
 
 
-def solve(problem, rhs=None, spec: Optional[SolveSpec] = None, **overrides
+def solve(problem: Any, rhs: Any = None, spec: Optional[SolveSpec] = None,
+          **overrides: Any
           ) -> Union[DistributedSolveResult, BlockSolveResult]:
     """Solve ``A x = b`` (or ``A X = B``) as described by a :class:`SolveSpec`.
 
@@ -325,7 +326,7 @@ def resilient_solve(problem: DistributedProblem, *, phi: int = 1,
             local_solver_method=local_solver_method, local_rtol=local_rtol)))
 
 
-def solve_with_failures(matrix, rhs: Optional[np.ndarray] = None, *,
+def solve_with_failures(matrix: Any, rhs: Optional[np.ndarray] = None, *,
                         n_nodes: int = 8, phi: int = 1,
                         failures: Iterable[Union[FailureEvent, Tuple]] = (),
                         preconditioner: Union[None, str, Preconditioner] = None,

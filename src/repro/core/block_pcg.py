@@ -51,6 +51,7 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from .. import sanitizer as _sanitizer
 from ..cluster.cluster import VirtualCluster
 from ..cluster.cost_model import Phase
 from ..distributed.comm_context import CommunicationContext
@@ -345,6 +346,8 @@ class BlockPCG:
         # reduction).
 
         while np.any(self.active) and global_iterations < self.max_iterations:
+            if _sanitizer._ACTIVE is not None:
+                _sanitizer._ACTIVE.note_iteration(global_iterations)
             # --- Alg. 1 line 3 first half: the batched SpMV (and, in the
             #     resilient variant, the block ESR redundancy exchange)
             self._spmv_p()

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from .. import sanitizer as _sanitizer
 from ..cluster.cluster import VirtualCluster
 from ..cluster.cost_model import Phase
 from ..distributed.comm_context import CommunicationContext
@@ -215,6 +216,8 @@ class DistributedPCG:
 
         while not converged and self.iteration < self.max_iterations:
             j = self.iteration
+            if _sanitizer._ACTIVE is not None:
+                _sanitizer._ACTIVE.note_iteration(j)
             # --- line 3 first half: the SpMV (and the ESR redundancy exchange)
             self._spmv_p()
             self._after_spmv(j)

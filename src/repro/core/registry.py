@@ -21,9 +21,10 @@ returns a solver object exposing ``solve()``.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Tuple, Union
 
 from ..cluster.failure import FailureInjector
+from ..precond.base import Preconditioner
 from ..distributed.dmultivector import DistributedMultiVector
 from ..distributed.dvector import DistributedVector
 from .block_pcg import BlockPCG
@@ -31,6 +32,9 @@ from .pcg import DistributedPCG
 from .resilient_block_pcg import ResilientBlockPCG
 from .resilient_pcg import ResilientPCG
 from .spec import BlockSpec, ResilienceSpec, SolveSpec
+
+if TYPE_CHECKING:  # circular at runtime: api.py imports this module
+    from .api import DistributedProblem
 
 #: A solver builder: ``(problem, rhs, preconditioner, spec) -> solver``.
 SolverBuilder = Callable[..., object]
@@ -70,8 +74,10 @@ class SolverRegistry:
                 f"unknown solver {name!r}; available: {self.names()}"
             ) from None
 
-    def build(self, name: str, problem, rhs, preconditioner,
-              spec: SolveSpec):
+    def build(self, name: str, problem: "DistributedProblem",
+              rhs: Union[DistributedVector, DistributedMultiVector],
+              preconditioner: Preconditioner,
+              spec: SolveSpec) -> object:
         """Build the configured solver *name* for one solve."""
         return self.get(name)(problem, rhs, preconditioner, spec)
 
@@ -83,7 +89,9 @@ SOLVERS = SolverRegistry()
 register_solver = SOLVERS.register
 
 
-def _require_single_rhs(rhs, solver: str) -> DistributedVector:
+def _require_single_rhs(
+        rhs: Union[DistributedVector, DistributedMultiVector],
+        solver: str) -> DistributedVector:
     if isinstance(rhs, DistributedMultiVector):
         raise ValueError(
             f"solver {solver!r} takes a single right-hand side; pass a "
@@ -111,7 +119,10 @@ def _require_no_resilience(spec: SolveSpec, solver: str) -> None:
 
 
 @register_solver("pcg")
-def build_pcg(problem, rhs, preconditioner, spec: SolveSpec) -> DistributedPCG:
+def build_pcg(problem: "DistributedProblem",
+              rhs: Union[DistributedVector, DistributedMultiVector],
+              preconditioner: Preconditioner,
+              spec: SolveSpec) -> DistributedPCG:
     """The plain distributed PCG (the paper's reference solver)."""
     _require_no_resilience(spec, "pcg")
     _require_no_block(spec, "pcg")
@@ -124,7 +135,9 @@ def build_pcg(problem, rhs, preconditioner, spec: SolveSpec) -> DistributedPCG:
 
 
 @register_solver("resilient_pcg")
-def build_resilient_pcg(problem, rhs, preconditioner,
+def build_resilient_pcg(problem: "DistributedProblem",
+                        rhs: Union[DistributedVector, DistributedMultiVector],
+                        preconditioner: Preconditioner,
                         spec: SolveSpec) -> ResilientPCG:
     """The ESR-protected PCG (the paper's contribution)."""
     _require_no_block(spec, "resilient_pcg")
@@ -143,8 +156,9 @@ def build_resilient_pcg(problem, rhs, preconditioner,
     )
 
 
-def _normalize_block_rhs(problem, rhs, spec: SolveSpec
-                         ) -> DistributedMultiVector:
+def _normalize_block_rhs(problem: "DistributedProblem",
+                         rhs: Union[DistributedVector, DistributedMultiVector],
+                         spec: SolveSpec) -> DistributedMultiVector:
     """Promote a single-vector rhs to a ``k = 1`` block and validate ``n_cols``."""
     block = spec.block if spec.block is not None else BlockSpec()
     if isinstance(rhs, DistributedVector):
@@ -161,7 +175,10 @@ def _normalize_block_rhs(problem, rhs, spec: SolveSpec
 
 
 @register_solver("block_pcg")
-def build_block_pcg(problem, rhs, preconditioner, spec: SolveSpec) -> BlockPCG:
+def build_block_pcg(problem: "DistributedProblem",
+                    rhs: Union[DistributedVector, DistributedMultiVector],
+                    preconditioner: Preconditioner,
+                    spec: SolveSpec) -> BlockPCG:
     """The lock-step multi-RHS block PCG (no failure handling)."""
     _require_no_resilience(spec, "block_pcg")
     block = spec.block if spec.block is not None else BlockSpec()
@@ -175,7 +192,10 @@ def build_block_pcg(problem, rhs, preconditioner, spec: SolveSpec) -> BlockPCG:
 
 
 @register_solver("resilient_block_pcg")
-def build_resilient_block_pcg(problem, rhs, preconditioner,
+def build_resilient_block_pcg(problem: "DistributedProblem",
+                              rhs: Union[DistributedVector,
+                                         DistributedMultiVector],
+                              preconditioner: Preconditioner,
                               spec: SolveSpec) -> ResilientBlockPCG:
     """The ESR-protected multi-RHS block PCG (ResilienceSpec + BlockSpec)."""
     res = spec.resilience if spec.resilience is not None else ResilienceSpec()

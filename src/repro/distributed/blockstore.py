@@ -18,6 +18,7 @@ from typing import Callable, Iterable, List, Tuple
 
 import numpy as np
 
+from .. import sanitizer as _sanitizer
 from ..cluster.errors import NodeFailedError
 from .partition import BlockRowPartition
 
@@ -63,6 +64,8 @@ class NodeBlockStore:
         like ``set_block``.
         """
         self.set_block(rank, np.array(values, dtype=np.float64, copy=True))
+        if _sanitizer._ACTIVE is not None:
+            _sanitizer._ACTIVE.on_block_restored(rank, self._key())
 
     def has_block(self, rank: int) -> bool:
         """True if *rank* is alive and holds a block of this container."""

@@ -26,7 +26,7 @@ blocks, exactly as the paper's implementation reverses the PETSc scatter
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 import numpy as np
 

@@ -17,7 +17,7 @@ recovery.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable
 
 import numpy as np
 import scipy.sparse as sp

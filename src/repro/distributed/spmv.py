@@ -38,6 +38,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from .. import sanitizer as _sanitizer
 from ..cluster.cost_model import Phase
 from .comm_context import CommunicationContext
 from .dmatrix import DistributedMatrix
@@ -97,7 +98,22 @@ def _dispatch_spmv(matrix: DistributedMatrix, x, out,
     raise on failed nodes (matching the dense-gather reference's charge
     order on the serialized path), and the overlap branch falls through to
     the serialized path when the context does not match the matrix.
+
+    Every charged SpMV runs inside a sanitizer op window: a charging call
+    that books nothing to the ledger is the ``uncharged_op`` bug class
+    SimSan exists to catch.
     """
+    with _sanitizer.op_window("spmv", matrix.cluster.ledger,
+                              required=charge):
+        return _execute_spmv(matrix, x, out, context, charge=charge,
+                             engine=engine, overlap=overlap, n_rhs=n_rhs,
+                             block=block)
+
+
+def _execute_spmv(matrix: DistributedMatrix, x, out,
+                  context: Optional[CommunicationContext],
+                  *, charge: bool, engine: bool, overlap: bool,
+                  n_rhs: int, block: bool):
     cluster = matrix.cluster
     ledger = cluster.ledger
 

@@ -21,7 +21,7 @@ strikes while the first recovery is running) are expressed with
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..cluster.failure import FailureEvent

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -39,7 +39,7 @@ from ..failures.scenarios import (
     FailureScenario,
     resolve_events,
 )
-from ..matrices.suite import build_matrix, get_record
+from ..matrices.suite import build_matrix
 from ..utils.logging import get_logger
 from ..utils.rng import as_rng, stable_hash_seed
 

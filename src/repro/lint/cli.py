@@ -1,0 +1,89 @@
+"""Command-line entry point: ``python -m repro.lint [paths...]``.
+
+Exit codes: ``0`` clean, ``1`` violations found, ``2`` usage/run error
+(unknown rule, unparseable file, bad path).  CI runs this as a blocking
+job; see ``CONTRIBUTING.md`` for the rule catalogue and how to extend the
+pinned allowlists.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import textwrap
+from pathlib import Path
+from typing import List, Optional
+
+from .allowlists import ALLOWLISTS
+from .engine import LintError, run_lint
+from .registry import ALL_RULES, rule_ids
+
+
+def _default_paths() -> List[Path]:
+    """``src/repro`` from a repo checkout, else the installed package dir."""
+    candidate = Path("src") / "repro"
+    if candidate.is_dir():
+        return [candidate]
+    return [Path(__file__).resolve().parent.parent]
+
+
+def _list_rules() -> str:
+    blocks = []
+    for rule in ALL_RULES:
+        doc = textwrap.dedent(rule.__class__.__doc__ or "").strip()
+        allow = ALLOWLISTS.get(rule.id, ())
+        allow_text = ", ".join(allow) if allow else "(none)"
+        blocks.append(
+            f"{rule.id}: {rule.title}\n"
+            + textwrap.indent(doc, "    ")
+            + f"\n    allowlist: {allow_text}"
+        )
+    return "\n\n".join(blocks)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Project-specific static-invariant linter "
+                    f"(rules {', '.join(rule_ids())}).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or package directories to scan (default: src/repro)")
+    parser.add_argument(
+        "--tests-dir", type=Path, default=None,
+        help="test-suite directory for cross-referencing rules "
+             "(default: auto-discovered next to the scanned root)")
+    parser.add_argument(
+        "--select", default=None, metavar="IDS",
+        help="comma-separated rule IDs to run (default: all)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue (IDs, docs, allowlists) and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    paths = args.paths if args.paths else _default_paths()
+    select = None
+    if args.select is not None:
+        select = [s for s in args.select.split(",") if s.strip()]
+    try:
+        violations = run_lint(paths, rules=ALL_RULES,
+                              tests_dir=args.tests_dir, select=select)
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    for violation in violations:
+        print(violation.format())
+    if violations:
+        print(f"{len(violations)} violation(s) found "
+              f"(run with --list-rules for the rule catalogue)",
+              file=sys.stderr)
+        return 1
+    scanned = ", ".join(str(p) for p in paths)
+    print(f"repro.lint: {scanned} clean ({len(rule_ids())} rules)")
+    return 0

@@ -1,0 +1,256 @@
+"""Rule engine of :mod:`repro.lint`.
+
+The engine is deliberately small: it parses every ``*.py`` file under the
+scanned roots once, hands each file (and the project as a whole) to every
+enabled rule, filters findings through the rule's pinned allowlist and
+through inline ``# noqa: R00X`` suppressions, and returns the surviving
+violations sorted by location.  Rules are plain classes (see :class:`Rule`);
+the project-specific rule set lives in :mod:`repro.lint.registry`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .allowlists import ALLOWLISTS
+
+
+class LintError(RuntimeError):
+    """A problem with the lint run itself (bad path, unparseable file)."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule violated at a specific source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+@dataclass
+class SourceFile:
+    """One parsed source file presented to the rules."""
+
+    abs_path: Path
+    #: Posix-style path relative to the scanned root (e.g. ``utils/rng.py``);
+    #: this is what allowlist patterns match against.
+    rel_path: str
+    tree: ast.Module
+    lines: List[str]
+
+    @classmethod
+    def parse(cls, abs_path: Path, rel_path: str) -> "SourceFile":
+        try:
+            source = abs_path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(abs_path))
+        except (OSError, SyntaxError) as exc:
+            raise LintError(f"cannot parse {abs_path}: {exc}") from exc
+        return cls(abs_path=abs_path, rel_path=rel_path, tree=tree,
+                   lines=source.splitlines())
+
+
+class Project:
+    """All scanned files plus the location of the test suite (for R003)."""
+
+    def __init__(self, files: Sequence[SourceFile],
+                 tests_dir: Optional[Path] = None):
+        self.files = list(files)
+        self.tests_dir = tests_dir
+        self._test_literals: Optional[Set[str]] = None
+
+    def test_string_literals(self) -> Optional[Set[str]]:
+        """Every string literal appearing in the test suite (lower-cased).
+
+        Returns ``None`` when no test directory was found, so rules can
+        distinguish "tests not located" from "name not covered".  Parsed
+        lazily and cached: only rules that need it (R003) pay for it.
+        """
+        if self.tests_dir is None:
+            return None
+        if self._test_literals is None:
+            literals: Set[str] = set()
+            for path in sorted(self.tests_dir.rglob("*.py")):
+                try:
+                    tree = ast.parse(path.read_text(encoding="utf-8"),
+                                     filename=str(path))
+                except (OSError, SyntaxError):
+                    continue
+                for node in ast.walk(tree):
+                    if isinstance(node, ast.Constant) and \
+                            isinstance(node.value, str):
+                        literals.add(node.value.lower())
+            self._test_literals = literals
+        return self._test_literals
+
+
+class Rule:
+    """Base class of every lint rule.
+
+    Subclasses set :attr:`id` and :attr:`title` and implement
+    :meth:`check_file` (per-file findings) and/or :meth:`check_project`
+    (whole-tree findings such as cross-referencing the test suite).  The
+    class docstring doubles as the rule's documentation shown by
+    ``python -m repro.lint --list-rules``.
+    """
+
+    id: str = ""
+    title: str = ""
+
+    def check_file(self, src: SourceFile) -> Iterator[Violation]:
+        return iter(())
+
+    def check_project(self, project: Project) -> Iterator[Violation]:
+        return iter(())
+
+    # -- helpers shared by the concrete rules ------------------------------
+    def violation(self, src_or_path, node_or_line, message: str) -> Violation:
+        """Build a :class:`Violation` from a file + AST node (or line no)."""
+        if isinstance(src_or_path, SourceFile):
+            path = src_or_path.rel_path
+        else:
+            path = str(src_or_path)
+        if isinstance(node_or_line, ast.AST):
+            line = getattr(node_or_line, "lineno", 1)
+            col = getattr(node_or_line, "col_offset", 0)
+        else:
+            line, col = int(node_or_line), 0
+        return Violation(rule_id=self.id, path=path, line=line, col=col,
+                         message=message)
+
+
+def path_matches(rel_path: str, patterns: Iterable[str]) -> bool:
+    """Whether *rel_path* matches any allowlist *pattern*.
+
+    Patterns are ``fnmatch`` globs matched against the scan-relative path
+    and, to stay stable under different scan roots (``src/repro`` vs
+    ``src``), also against any path suffix (``utils/rng.py`` matches
+    ``repro/utils/rng.py``).
+    """
+    for pattern in patterns:
+        if fnmatch(rel_path, pattern) or fnmatch(rel_path, "*/" + pattern):
+            return True
+    return False
+
+
+_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
+
+
+def is_suppressed(src: SourceFile, violation: Violation) -> bool:
+    """True when the flagged line carries a matching ``# noqa`` comment."""
+    if not 1 <= violation.line <= len(src.lines):
+        return False
+    match = _NOQA_RE.search(src.lines[violation.line - 1])
+    if match is None:
+        return False
+    codes = match.group("codes")
+    if codes is None:
+        return True  # bare "# noqa" suppresses everything on the line
+    wanted = {c.strip().upper() for c in codes.split(",") if c.strip()}
+    return violation.rule_id.upper() in wanted
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Resolve an ``Attribute``/``Name`` chain to ``a.b.c`` (else ``None``)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def discover_files(roots: Sequence[Path]) -> List[Tuple[Path, str]]:
+    """``(abs_path, rel_path)`` for every python file under *roots*."""
+    out: List[Tuple[Path, str]] = []
+    for root in roots:
+        root = Path(root)
+        if root.is_file():
+            out.append((root, root.name))
+        elif root.is_dir():
+            for path in sorted(root.rglob("*.py")):
+                out.append((path, path.relative_to(root).as_posix()))
+        else:
+            raise LintError(f"no such file or directory: {root}")
+    return out
+
+
+def discover_tests_dir(start: Path, max_levels: int = 5) -> Optional[Path]:
+    """Find the project's ``tests/`` directory near the scanned root.
+
+    Walks up from *start* (``src/repro`` -> ``src`` -> repo root -> ...)
+    and returns the first sibling/child directory literally named ``tests``.
+    """
+    current = Path(start).resolve()
+    if current.is_file():
+        current = current.parent
+    for candidate in [current, *list(current.parents)[:max_levels]]:
+        tests = candidate / "tests"
+        if tests.is_dir():
+            return tests
+    return None
+
+
+def run_lint(paths: Sequence[Path], *, rules: Sequence[Rule],
+             tests_dir: Optional[Path] = None,
+             select: Optional[Iterable[str]] = None) -> List[Violation]:
+    """Run *rules* over *paths* and return the surviving violations.
+
+    Parameters
+    ----------
+    paths:
+        Files and/or package directories to scan.
+    rules:
+        Rule instances to run (see :mod:`repro.lint.registry`).
+    tests_dir:
+        Test-suite directory for cross-referencing rules; auto-discovered
+        near the first path when ``None``.
+    select:
+        Optional iterable of rule IDs to restrict the run to.
+    """
+    if not paths:
+        raise LintError("no paths to lint")
+    wanted = {s.upper() for s in select} if select is not None else None
+    active = [r for r in rules if wanted is None or r.id.upper() in wanted]
+    if wanted is not None:
+        known = {r.id.upper() for r in rules}
+        unknown = sorted(wanted - known)
+        if unknown:
+            raise LintError(f"unknown rule id(s): {', '.join(unknown)}")
+
+    files = [SourceFile.parse(abs_path, rel_path)
+             for abs_path, rel_path in discover_files(paths)]
+    if tests_dir is None:
+        tests_dir = discover_tests_dir(Path(paths[0]))
+    project = Project(files, tests_dir=tests_dir)
+    by_rel = {f.rel_path: f for f in files}
+
+    violations: List[Violation] = []
+    for rule in active:
+        allow = ALLOWLISTS.get(rule.id, ())
+        for src in files:
+            if path_matches(src.rel_path, allow):
+                continue
+            for violation in rule.check_file(src):
+                if not is_suppressed(src, violation):
+                    violations.append(violation)
+        for violation in rule.check_project(project):
+            src = by_rel.get(violation.path)
+            if src is not None and path_matches(src.rel_path, allow):
+                continue
+            if src is None or not is_suppressed(src, violation):
+                violations.append(violation)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    return violations

@@ -1,0 +1,236 @@
+"""Determinism rules: seeded RNG, no wallclock, ordered iteration.
+
+These three rules protect the property the whole reproduction rests on:
+a solve is a pure function of ``(problem, spec, seed)``.  Unseeded RNG
+breaks replay, wallclock reads let host timing leak into simulated
+charges, and iteration over unordered sets feeds hash-order-dependent
+accumulation into ledger reductions and message schedules (Python string
+hashing is randomised per process, so such code is bit-unstable *across*
+runs even when it looks deterministic within one).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from .engine import Rule, SourceFile, Violation, dotted_name
+
+
+class UnseededRngRule(Rule):
+    """R001: all randomness must flow through explicitly seeded generators.
+
+    Flags the stdlib ``random`` module (global, process-seeded state) and
+    NumPy's legacy global-state API (``np.random.rand``, ``np.random.seed``,
+    ``np.random.RandomState``, ...), plus ``np.random.default_rng()`` called
+    without a seed (or with a literal ``None``).  The sanctioned pattern is
+    :func:`repro.utils.rng.as_rng` / ``np.random.default_rng(seed)`` with an
+    explicit seed threaded from the experiment configuration.
+    """
+
+    id = "R001"
+    title = "no unseeded RNG"
+
+    _NUMPY_RANDOM = ("np.random.", "numpy.random.")
+    #: CamelCase ``np.random`` attributes that are fine to reference/call
+    #: (generator and seeding *types*, not global-state draws).
+    _SAFE_TYPES = frozenset({
+        "Generator", "SeedSequence", "BitGenerator", "PCG64", "PCG64DXSM",
+        "Philox", "SFC64", "MT19937",
+    })
+
+    def check_file(self, src: SourceFile) -> Iterator[Violation]:
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or \
+                            alias.name.startswith("random."):
+                        yield self.violation(
+                            src, node,
+                            "stdlib 'random' uses unseeded global state; "
+                            "use repro.utils.rng.as_rng(seed)")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    yield self.violation(
+                        src, node,
+                        "stdlib 'random' uses unseeded global state; "
+                        "use repro.utils.rng.as_rng(seed)")
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is None:
+                    continue
+                tail = self._numpy_random_attr(name)
+                if tail is None:
+                    continue
+                if tail == "default_rng":
+                    if self._is_unseeded_default_rng(node):
+                        yield self.violation(
+                            src, node,
+                            "np.random.default_rng() without a seed is "
+                            "unreproducible; pass an explicit seed")
+                elif tail == "RandomState" or tail not in self._SAFE_TYPES:
+                    yield self.violation(
+                        src, node,
+                        f"np.random.{tail} draws from legacy global RNG "
+                        "state; use a seeded np.random.default_rng(seed)")
+
+    def _numpy_random_attr(self, name: str) -> Optional[str]:
+        for prefix in self._NUMPY_RANDOM:
+            if name.startswith(prefix):
+                tail = name[len(prefix):]
+                if tail and "." not in tail:
+                    return tail
+        return None
+
+    @staticmethod
+    def _is_unseeded_default_rng(call: ast.Call) -> bool:
+        if not call.args and not call.keywords:
+            return True
+        first = call.args[0] if call.args else None
+        for kw in call.keywords:
+            if kw.arg == "seed":
+                first = kw.value
+        return isinstance(first, ast.Constant) and first.value is None
+
+
+class WallclockRule(Rule):
+    """R002: no wallclock reads outside the pinned timing allowlist.
+
+    The simulated clock is the :class:`~repro.cluster.cost_model.CostLedger`;
+    simulated charges must never depend on host timing, or identical solves
+    stop producing identical ledgers.  Flags ``time.time``/``perf_counter``/
+    ``monotonic``/``process_time`` (and their ``_ns`` variants, referenced or
+    imported) plus ``datetime.now``-style constructors.  Modules that
+    legitimately *measure* host performance (the experiment harness, the
+    reconstruction wallclock report) are pinned in the allowlist.
+    """
+
+    id = "R002"
+    title = "no wallclock outside the timing allowlist"
+
+    _TIME_FUNCS = frozenset({
+        "time", "time_ns", "perf_counter", "perf_counter_ns",
+        "monotonic", "monotonic_ns", "process_time", "process_time_ns",
+    })
+    _DOTTED = frozenset(
+        {f"time.{f}" for f in _TIME_FUNCS} |
+        {"datetime.datetime.now", "datetime.datetime.utcnow",
+         "datetime.datetime.today", "datetime.date.today",
+         "datetime.now", "datetime.utcnow", "datetime.today", "date.today"}
+    )
+
+    def check_file(self, src: SourceFile) -> Iterator[Violation]:
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in self._TIME_FUNCS:
+                        yield self.violation(
+                            src, node,
+                            f"importing wallclock 'time.{alias.name}'; "
+                            "simulated charges must come from the CostLedger")
+            elif isinstance(node, ast.Attribute):
+                name = dotted_name(node)
+                if name in self._DOTTED:
+                    yield self.violation(
+                        src, node,
+                        f"wallclock read '{name}' outside the timing "
+                        "allowlist; simulated charges must come from the "
+                        "CostLedger")
+
+
+class UnorderedIterationRule(Rule):
+    """R005: no iteration over unordered sets feeding reductions/schedules.
+
+    ``for x in some_set`` (or a list/generator comprehension over one)
+    visits elements in hash order, which for strings is randomised per
+    process: a float accumulation or a message schedule built that way is
+    bit-unstable across runs.  The rule flags ``for`` statements and
+    list/generator comprehensions whose iterable is a set display, a set
+    comprehension, a ``set()``/``frozenset()`` call, a set-operator
+    expression, or a local name assigned from one.  Wrap the iterable in
+    ``sorted(...)`` instead -- set *construction* and membership tests are
+    untouched, and iterating a set into another set (``{... for x in s}``)
+    is order-insensitive and not flagged.
+    """
+
+    id = "R005"
+    title = "no unordered-set iteration"
+
+    def check_file(self, src: SourceFile) -> Iterator[Violation]:
+        # Scopes are checked independently so local-name tracking cannot
+        # leak between functions (nested defs are their own scopes).
+        for scope in self._scopes(src.tree):
+            set_names = self._set_typed_names(scope)
+            for node in self._walk_scope(scope):
+                iters: List[ast.expr] = []
+                if isinstance(node, ast.For):
+                    iters.append(node.iter)
+                elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                    iters.extend(gen.iter for gen in node.generators)
+                for it in iters:
+                    if self._is_set_expr(it, set_names):
+                        yield self.violation(
+                            src, it,
+                            "iterating an unordered set; order is "
+                            "hash-randomised across processes -- wrap the "
+                            "iterable in sorted(...)")
+
+    @classmethod
+    def _scopes(cls, tree: ast.Module) -> Iterator[ast.AST]:
+        yield tree
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    @classmethod
+    def _walk_scope(cls, scope: ast.AST) -> Iterator[ast.AST]:
+        """Walk *scope* without descending into nested function scopes."""
+        for child in ast.iter_child_nodes(scope):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield child
+            yield from cls._walk_scope(child)
+
+    @classmethod
+    def _set_typed_names(cls, scope: ast.AST) -> Set[str]:
+        """Local names assigned (only) from set-producing expressions."""
+        assigned_set: Set[str] = set()
+        assigned_other: Set[str] = set()
+        for node in cls._walk_scope(scope):
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            elif isinstance(node, ast.AugAssign):
+                # ``s |= ...`` / ``&=`` / ``-=`` / ``^=`` keep the set type;
+                # any other augmented op demotes the name.
+                if isinstance(node.target, ast.Name) and not isinstance(
+                        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+                    assigned_other.add(node.target.id)
+                continue
+            if value is None:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    if cls._is_set_expr(value, assigned_set):
+                        assigned_set.add(target.id)
+                    else:
+                        assigned_other.add(target.id)
+        return assigned_set - assigned_other
+
+    @classmethod
+    def _is_set_expr(cls, node: ast.expr, set_names: Set[str]) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            return name in ("set", "frozenset")
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+            return cls._is_set_expr(node.left, set_names) or \
+                cls._is_set_expr(node.right, set_names)
+        if isinstance(node, ast.Name):
+            return node.id in set_names
+        return False

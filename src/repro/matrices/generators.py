@@ -14,7 +14,7 @@ definite CSR matrices.
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp

@@ -9,7 +9,6 @@ for the reconstruction subsystem (Sec. 6).
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 import scipy.sparse as sp

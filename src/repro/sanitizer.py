@@ -1,0 +1,341 @@
+"""SimSan -- a runtime sanitizer for the simulated cluster.
+
+ASan for the virtual machine: where :mod:`repro.lint` enforces the
+simulator's invariants statically, SimSan checks them *while the
+simulation runs*.  The cluster substrate (:class:`~repro.cluster.node.
+NodeMemory`, :class:`~repro.cluster.communicator.Communicator`,
+:class:`~repro.cluster.cost_model.CostLedger`, the block stores) carries
+cheap hook points that are inert until a sanitizer is activated; with one
+active, four detectors watch every simulated operation:
+
+``use_after_failure``
+    Any *silent* read (``get``/``pop`` with a default) of a node-memory key
+    that was lost in that node's failure and has not been freshly written
+    since (i.e. the replacement rejoined but reconstruction never restored
+    the block).  Without the sanitizer such a read returns the default as
+    if the data had never existed.  Plain ``memory[key]`` reads are not
+    hooked: a lost key raises a loud ``KeyError`` there, which callers
+    handle deliberately (the SpMV engine's output-block probe).
+``unmatched_send``
+    Point-to-point traffic must quiesce at collective boundaries (ULFM
+    semantics) and by sanitizer shutdown: a collective entered with
+    sent-but-unreceived messages, or a sanitizer stopped over a communicator
+    with pending mail, is flagged.
+``allreduce_uniformity``
+    All contributions to one allreduce must carry the *same shape* (the
+    communicator itself only checks element counts; equal-size different-
+    shape payloads broadcast-sum into silently wrong results).
+``uncharged_op``
+    Simulated operations that must book simulated cost open an *op window*
+    (:func:`op_window`); a window that closes with zero ledger delta means
+    an operation executed for free -- the exact bug class that invalidates
+    every overhead number the harness reports.
+
+Violations raise :class:`SanitizerError` with structured rank / key /
+iteration / phase context.
+
+Activation is opt-in and cheap to leave off (one ``is None`` check per
+hook):
+
+* environment: ``REPRO_SANITIZE=1 pytest`` (honoured on ``import repro``;
+  a comma-separated detector list such as
+  ``REPRO_SANITIZE=use_after_failure,uncharged_op`` selects a subset);
+* context manager: ``with repro.sanitizer.sanitized(): ...``;
+* explicit: :func:`enable` / :func:`disable`.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
+from weakref import WeakKeyDictionary, WeakSet
+
+import numpy as np
+
+#: Every detector SimSan knows, all enabled by default.
+DETECTORS: Tuple[str, ...] = (
+    "use_after_failure",
+    "unmatched_send",
+    "allreduce_uniformity",
+    "uncharged_op",
+)
+
+#: The active sanitizer (``None`` = instrumentation inert).  Hook sites read
+#: this attribute directly; everything else should go through the public
+#: :func:`enable` / :func:`disable` / :func:`sanitized` API.
+_ACTIVE: Optional["SimSan"] = None
+
+
+class SanitizerError(RuntimeError):
+    """A simulator invariant violated at runtime, with structured context.
+
+    Parameters
+    ----------
+    detector:
+        The detector that fired (one of :data:`DETECTORS`).
+    message:
+        Human-readable description of the violation.
+    rank, key, op, phase, iteration:
+        Structured context: the affected rank, the node-memory key, the
+        simulated operation, the last charged ledger phase and the solver
+        iteration (where known).
+    """
+
+    def __init__(self, detector: str, message: str, *,
+                 rank: Optional[int] = None, key: Any = None,
+                 op: Optional[str] = None, phase: Optional[str] = None,
+                 iteration: Optional[int] = None):
+        self.detector = detector
+        self.rank = rank
+        self.key = key
+        self.op = op
+        self.phase = phase
+        self.iteration = iteration
+        context = [f"{name}={value!r}" for name, value in (
+            ("rank", rank), ("key", key), ("op", op),
+            ("phase", phase), ("iteration", iteration),
+        ) if value is not None]
+        suffix = f" [{', '.join(context)}]" if context else ""
+        super().__init__(f"SimSan:{detector}: {message}{suffix}")
+
+
+class SimSan:
+    """The sanitizer state machine behind the module-level hooks.
+
+    One instance tracks tombstones of failed-and-wiped node-memory keys,
+    the set of live communicators (weakly, so instrumentation never keeps
+    a cluster alive), per-detector enablement, event counters in
+    :attr:`stats`, and the rank/iteration/phase context attached to every
+    :class:`SanitizerError`.
+    """
+
+    def __init__(self, detectors: Optional[Iterable[str]] = None):
+        chosen = tuple(detectors) if detectors is not None else DETECTORS
+        unknown = sorted(set(chosen) - set(DETECTORS))
+        if unknown:
+            raise ValueError(
+                f"unknown sanitizer detector(s) {unknown}; "
+                f"available: {DETECTORS}")
+        self.detectors: FrozenSet[str] = frozenset(chosen)
+        #: ``NodeMemory -> {key, ...}`` of data lost in that node's failure
+        #: and not rewritten since.
+        self._tombstones: "WeakKeyDictionary[Any, set]" = WeakKeyDictionary()
+        self._comms: "WeakSet[Any]" = WeakSet()
+        self.stats: Dict[str, int] = {
+            "memory_reads": 0,
+            "memory_writes": 0,
+            "node_failures": 0,
+            "sends": 0,
+            "collectives": 0,
+            "op_windows": 0,
+            "blocks_restored": 0,
+        }
+        self.context: Dict[str, Any] = {"iteration": None, "phase": None}
+
+    def enabled(self, detector: str) -> bool:
+        return detector in self.detectors
+
+    def _error(self, detector: str, message: str, **kwargs: Any
+               ) -> SanitizerError:
+        kwargs.setdefault("iteration", self.context.get("iteration"))
+        kwargs.setdefault("phase", self.context.get("phase"))
+        return SanitizerError(detector, message, **kwargs)
+
+    # -- node-memory hooks (called from repro.cluster.node) ----------------
+    def on_node_fail(self, node: Any) -> None:
+        """Record which keys are about to be wiped by *node*'s failure."""
+        self.stats["node_failures"] += 1
+        memory = node.memory
+        lost = self._tombstones.setdefault(memory, set())
+        lost.update(memory.raw_keys())
+
+    def on_memory_read(self, node: Any, key: Any) -> None:
+        self.stats["memory_reads"] += 1
+        if not self.enabled("use_after_failure"):
+            return
+        lost = self._tombstones.get(node.memory)
+        if lost is not None and key in lost:
+            raise self._error(
+                "use_after_failure",
+                f"silent read of key {key!r} on rank {node.rank}: the value "
+                "was lost in that rank's failure and has not been "
+                "reconstructed, yet the read would return a default as if "
+                "it had never existed",
+                rank=node.rank, key=key)
+
+    def on_memory_write(self, node: Any, key: Any) -> None:
+        """A fresh write resurrects *key*: clear its tombstone."""
+        self.stats["memory_writes"] += 1
+        lost = self._tombstones.get(node.memory)
+        if lost is not None:
+            lost.discard(key)
+
+    def on_memory_invalidate(self, node: Any, key: Any) -> None:
+        """An explicit driver-side scrub also clears the tombstone."""
+        lost = self._tombstones.get(node.memory)
+        if lost is not None:
+            lost.discard(key)
+
+    def tombstoned_keys(self, node: Any) -> Tuple[Any, ...]:
+        """The keys currently tombstoned on *node* (diagnostics/tests)."""
+        lost = self._tombstones.get(node.memory)
+        if not lost:
+            return ()
+        return tuple(sorted(lost, key=repr))
+
+    # -- communicator hooks (called from repro.cluster.communicator) -------
+    def on_send(self, comm: Any, src: int, dst: int, tag: Any) -> None:
+        self.stats["sends"] += 1
+        self._comms.add(comm)
+
+    def on_collective(self, comm: Any, op: str,
+                      contributions: Optional[Dict[int, Any]] = None) -> None:
+        """Boundary checks when *comm* enters the collective *op*."""
+        self.stats["collectives"] += 1
+        self._comms.add(comm)
+        if self.enabled("unmatched_send"):
+            pending = comm.pending_messages()
+            if pending:
+                raise self._error(
+                    "unmatched_send",
+                    f"collective {op!r} entered with {pending} "
+                    "sent-but-unreceived point-to-point message(s); "
+                    "p2p traffic must quiesce at collective boundaries",
+                    op=op)
+        if contributions and self.enabled("allreduce_uniformity"):
+            shapes = {rank: np.shape(value)
+                      for rank, value in contributions.items()}
+            if len(set(shapes.values())) > 1:
+                detail = ", ".join(
+                    f"rank {rank}: {shape}"
+                    for rank, shape in sorted(shapes.items()))
+                raise self._error(
+                    "allreduce_uniformity",
+                    f"{op} contributions have non-uniform shapes "
+                    f"({detail}); equal-size different-shape payloads "
+                    "broadcast-sum into wrong results",
+                    op=op)
+
+    # -- block-store hooks (called from repro.distributed.blockstore) ------
+    def on_block_restored(self, rank: int, key: Any) -> None:
+        self.stats["blocks_restored"] += 1
+
+    # -- ledger hooks (called from repro.cluster.cost_model) ---------------
+    def on_charge(self, phase: str) -> None:
+        self.context["phase"] = phase
+
+    # -- solver hooks (called from the PCG drivers) ------------------------
+    def note_iteration(self, iteration: int) -> None:
+        self.context["iteration"] = iteration
+
+    # -- shutdown checks ---------------------------------------------------
+    def final_checks(self) -> None:
+        """Run end-of-session checks (pending mail on live communicators)."""
+        if not self.enabled("unmatched_send"):
+            return
+        for comm in list(self._comms):
+            pending = comm.pending_messages()
+            if pending:
+                raise self._error(
+                    "unmatched_send",
+                    f"sanitizer stopped with {pending} sent-but-unreceived "
+                    "message(s) still buffered on a communicator")
+
+
+# ---------------------------------------------------------------------------
+# activation API
+# ---------------------------------------------------------------------------
+
+def active() -> Optional[SimSan]:
+    """The currently active sanitizer, or ``None``."""
+    return _ACTIVE
+
+
+def is_active() -> bool:
+    return _ACTIVE is not None
+
+
+def enable(detectors: Optional[Iterable[str]] = None) -> SimSan:
+    """Activate SimSan process-wide (idempotent while already active)."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = SimSan(detectors)
+    return _ACTIVE
+
+
+def disable(*, run_final_checks: bool = False) -> None:
+    """Deactivate SimSan (optionally running the shutdown checks first)."""
+    global _ACTIVE
+    san, _ACTIVE = _ACTIVE, None
+    if run_final_checks and san is not None:
+        san.final_checks()
+
+
+@contextmanager
+def sanitized(detectors: Optional[Iterable[str]] = None
+              ) -> Iterator[SimSan]:
+    """Run a block under SimSan; restores the previous state on exit.
+
+    The shutdown checks (pending point-to-point mail) run on clean exit --
+    not when the block is already raising, so the original error wins.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    san = SimSan(detectors) if previous is None else previous
+    _ACTIVE = san
+    try:
+        yield san
+    except BaseException:
+        _ACTIVE = previous
+        raise
+    else:
+        _ACTIVE = previous
+        if previous is None:
+            san.final_checks()
+
+
+@contextmanager
+def op_window(op: str, ledger: Any, *, required: bool = True,
+              **context: Any) -> Iterator[None]:
+    """Declare one simulated operation that must charge the ledger.
+
+    Wrap the code that simulates *op* against *ledger*; when the
+    ``uncharged_op`` detector is active and *required* is true, the window
+    closing with neither simulated time nor message traffic booked raises
+    :class:`SanitizerError`.  Inert (zero snapshot cost) when no sanitizer
+    is active.
+    """
+    san = _ACTIVE
+    if san is None or not required or not san.enabled("uncharged_op"):
+        yield
+        return
+    san.stats["op_windows"] += 1
+    time_before = ledger.total_time()
+    messages_before = ledger.total_messages()
+    yield
+    if ledger.total_time() == time_before and \
+            ledger.total_messages() == messages_before:
+        raise san._error(
+            "uncharged_op",
+            f"op window {op!r} closed with zero ledger delta; every "
+            "simulated operation must book simulated cost",
+            op=op, **context)
+
+
+def _env_detectors(value: str) -> Optional[Tuple[str, ...]]:
+    """Parse ``REPRO_SANITIZE`` into a detector selection (``None`` = all)."""
+    lowered = value.strip().lower()
+    if lowered in ("1", "true", "yes", "on", "all", ""):
+        return None
+    return tuple(part.strip() for part in lowered.split(",") if part.strip())
+
+
+def enable_from_env(environ: Optional[Dict[str, str]] = None
+                    ) -> Optional[SimSan]:
+    """Honour ``REPRO_SANITIZE`` (called from ``import repro``)."""
+    env = os.environ if environ is None else environ
+    value = env.get("REPRO_SANITIZE")
+    if value is None or value.strip().lower() in ("0", "false", "no", "off"):
+        return None
+    return enable(_env_detectors(value))

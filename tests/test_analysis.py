@@ -14,7 +14,7 @@ from repro.analysis import (
 )
 from repro.analysis.overhead import overhead_sweep
 from repro.cluster import MachineModel, VirtualCluster
-from repro.core.redundancy import BackupPlacement, RedundancyScheme
+from repro.core.redundancy import RedundancyScheme
 from repro.distributed import (
     BlockRowPartition,
     CommunicationContext,

@@ -93,6 +93,25 @@ class TestCostLedger:
         assert ledger.since(snap) == pytest.approx(0.75)
         assert ledger.since(snap, [Phase.HALO_COMM]) == pytest.approx(0.5)
 
+    def test_since_accumulates_in_sorted_key_order(self, ledger):
+        """Regression (lint R005): ``since`` must sum per-phase deltas in
+        sorted-key order, not set-iteration order -- float addition does not
+        commute bitwise and set order is hash-randomised per process."""
+        deltas = {
+            Phase.SPMV_COMPUTE: 0.1,
+            Phase.HALO_COMM: 1e-17,
+            Phase.ALLREDUCE_COMM: 0.3,
+            Phase.RECOVERY_COMM: 1e-16,
+            Phase.VECTOR_COMPUTE: 0.7,
+        }
+        snap = ledger.snapshot()
+        for phase, delta in deltas.items():
+            ledger.add_time(phase, delta)
+        expected = 0.0
+        for phase in sorted(deltas):
+            expected += deltas[phase]
+        assert ledger.since(snap) == expected  # exact, not approx
+
     def test_reset(self, ledger):
         ledger.add_time(Phase.SPMV_COMPUTE, 1.0)
         ledger.add_traffic(Phase.SPMV_COMPUTE, 1, 1)

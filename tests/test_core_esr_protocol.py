@@ -5,7 +5,6 @@ import pytest
 
 from repro.cluster import MachineModel, Phase, UnrecoverableStateError, VirtualCluster
 from repro.core.esr import _ESR_KEY, ESRProtocol
-from repro.core.redundancy import BackupPlacement
 from repro.distributed import (
     BlockRowPartition,
     CommunicationContext,

@@ -5,7 +5,6 @@ reconstructed state (x, r, z, p) matches the pre-failure state to (near)
 machine precision, for every preconditioner form the paper discusses.
 """
 
-import numpy as np
 import pytest
 
 from repro.cluster import FailureEvent, FailureInjector, MachineModel

@@ -83,6 +83,51 @@ class TestValidation:
         assert build_failure_events([event]) == [event]
 
 
+#: Pinned snapshots of the registry contents.  ``repro.lint`` rule R003
+#: requires every registered name to appear as a literal in the test suite;
+#: these lists (checked against the live registries below) are that
+#: round-trip coverage -- extend them when registering a new name.
+REGISTERED_SOLVER_NAMES = [
+    "block_pcg", "pcg", "resilient_block_pcg", "resilient_pcg",
+]
+REGISTERED_PRECONDITIONER_NAMES = [
+    "block_jacobi", "block_jacobi_ic", "block_jacobi_ilu", "identity",
+    "jacobi", "none", "split_ic0", "ssor",
+]
+
+
+class TestRegistryRoundTrip:
+    """Every registered name stays reachable through a spec round-trip."""
+
+    def test_pinned_solver_names_match_registry(self):
+        from repro.core.registry import SOLVERS
+        assert sorted(SOLVERS.names()) == REGISTERED_SOLVER_NAMES
+
+    def test_pinned_preconditioner_names_match_registry(self):
+        from repro.precond.factory import registered_preconditioners
+        assert sorted(registered_preconditioners()) == \
+            REGISTERED_PRECONDITIONER_NAMES
+
+    @pytest.mark.parametrize("name", REGISTERED_SOLVER_NAMES)
+    def test_registered_solver_round_trips(self, name):
+        spec = SolveSpec(solver=name)
+        rebuilt = SolveSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt == spec
+        assert rebuilt.solver == name
+
+    @pytest.mark.parametrize("name", REGISTERED_PRECONDITIONER_NAMES)
+    def test_registered_preconditioner_round_trips(self, name):
+        spec = SolveSpec(preconditioner=name)
+        rebuilt = SolveSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt == spec
+        assert rebuilt.preconditioner == name
+
+    @pytest.mark.parametrize("name", REGISTERED_PRECONDITIONER_NAMES)
+    def test_registered_preconditioner_builds(self, name):
+        preconditioner = make_preconditioner(name)
+        assert not preconditioner.is_set_up
+
+
 class TestRoundTrip:
     def full_spec(self):
         return SolveSpec(

@@ -1,0 +1,131 @@
+"""Tests for tools/coverage_ratchet.py (total floor + required_modules)."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_SPEC = importlib.util.spec_from_file_location(
+    "coverage_ratchet", REPO_ROOT / "tools" / "coverage_ratchet.py")
+ratchet = importlib.util.module_from_spec(_SPEC)
+sys.modules.setdefault("coverage_ratchet", ratchet)
+_SPEC.loader.exec_module(ratchet)
+
+
+def write_coverage(path, total, files=None):
+    data = {"totals": {"percent_covered": total}, "files": files or {}}
+    path.write_text(json.dumps(data))
+    return path
+
+
+def file_entry(num_statements, covered_lines):
+    return {"summary": {"num_statements": num_statements,
+                        "covered_lines": covered_lines}}
+
+
+def write_ratchet(path, floor, required=None):
+    data = {"min_line_coverage_percent": floor}
+    if required is not None:
+        data["required_modules"] = required
+    path.write_text(json.dumps(data))
+    return path
+
+
+class TestTotalFloor:
+    def test_pass_above_floor(self, tmp_path):
+        cov = write_coverage(tmp_path / "c.json", 85.0)
+        rat = write_ratchet(tmp_path / "r.json", 80.0)
+        assert ratchet.main(["check", str(cov), str(rat)]) == 0
+
+    def test_fail_below_floor(self, tmp_path, capsys):
+        cov = write_coverage(tmp_path / "c.json", 70.0)
+        rat = write_ratchet(tmp_path / "r.json", 80.0)
+        assert ratchet.main(["check", str(cov), str(rat)]) == 1
+        assert "regressed" in capsys.readouterr().err
+
+    def test_update_never_lowers(self, tmp_path):
+        cov = write_coverage(tmp_path / "c.json", 70.0)
+        rat = write_ratchet(tmp_path / "r.json", 80.0)
+        assert ratchet.main(["update", str(cov), str(rat)]) == 0
+        assert json.loads(rat.read_text())["min_line_coverage_percent"] == 80.0
+
+    def test_update_raises_with_margin(self, tmp_path):
+        cov = write_coverage(tmp_path / "c.json", 90.0)
+        rat = write_ratchet(tmp_path / "r.json", 80.0)
+        ratchet.main(["update", str(cov), str(rat)])
+        floor = json.loads(rat.read_text())["min_line_coverage_percent"]
+        assert floor == pytest.approx(90.0 - ratchet.MARGIN)
+
+
+class TestRequiredModules:
+    FILES = {
+        "src/repro/lint/engine.py": file_entry(100, 90),
+        "src/repro/lint/cli.py": file_entry(50, 45),
+        "src/repro/sanitizer.py": file_entry(200, 180),
+        "src/repro/core/pcg.py": file_entry(10, 1),
+    }
+
+    def test_present_and_above_floor_passes(self, tmp_path):
+        cov = write_coverage(tmp_path / "c.json", 90.0, self.FILES)
+        rat = write_ratchet(tmp_path / "r.json", 80.0,
+                            {"repro/lint": 85.0, "repro/sanitizer.py": 85.0})
+        assert ratchet.main(["check", str(cov), str(rat)]) == 0
+
+    def test_package_percent_aggregates_across_files(self, tmp_path):
+        percents = ratchet.module_percents(
+            write_coverage(tmp_path / "c.json", 90.0, self.FILES),
+            {"repro/lint": 0.0})
+        n_files, percent = percents["repro/lint"]
+        assert n_files == 2
+        assert percent == pytest.approx(100.0 * (90 + 45) / (100 + 50))
+
+    def test_missing_module_fails(self, tmp_path, capsys):
+        files = dict(self.FILES)
+        del files["src/repro/sanitizer.py"]
+        cov = write_coverage(tmp_path / "c.json", 90.0, files)
+        rat = write_ratchet(tmp_path / "r.json", 80.0,
+                            {"repro/sanitizer.py": 85.0})
+        assert ratchet.main(["check", str(cov), str(rat)]) == 1
+        assert "absent from the coverage report" in capsys.readouterr().err
+
+    def test_module_below_its_floor_fails(self, tmp_path, capsys):
+        files = dict(self.FILES)
+        files["src/repro/sanitizer.py"] = file_entry(200, 100)
+        cov = write_coverage(tmp_path / "c.json", 90.0, files)
+        rat = write_ratchet(tmp_path / "r.json", 80.0,
+                            {"repro/sanitizer.py": 85.0})
+        assert ratchet.main(["check", str(cov), str(rat)]) == 1
+        assert "below its floor" in capsys.readouterr().err
+
+    def test_prefix_does_not_match_siblings(self, tmp_path):
+        files = {"src/repro/lint_extras/other.py": file_entry(10, 0),
+                 "src/repro/lint/engine.py": file_entry(10, 10)}
+        percents = ratchet.module_percents(
+            write_coverage(tmp_path / "c.json", 90.0, files),
+            {"repro/lint": 0.0})
+        assert percents["repro/lint"] == (1, 100.0)
+
+    def test_paths_without_src_prefix_also_match(self, tmp_path):
+        files = {"repro/sanitizer.py": file_entry(10, 10)}
+        percents = ratchet.module_percents(
+            write_coverage(tmp_path / "c.json", 90.0, files),
+            {"repro/sanitizer.py": 0.0})
+        assert percents["repro/sanitizer.py"] == (1, 100.0)
+
+    def test_update_preserves_required_modules(self, tmp_path):
+        cov = write_coverage(tmp_path / "c.json", 90.0, self.FILES)
+        required = {"repro/lint": 85.0, "repro/sanitizer.py": 85.0}
+        rat = write_ratchet(tmp_path / "r.json", 80.0, required)
+        assert ratchet.main(["update", str(cov), str(rat)]) == 0
+        assert json.loads(rat.read_text())["required_modules"] == required
+
+
+class TestCommittedRatchetFile:
+    def test_repo_ratchet_requires_lint_and_sanitizer(self):
+        data = json.loads((REPO_ROOT / ".coverage-ratchet.json").read_text())
+        required = data["required_modules"]
+        assert "repro/lint" in required
+        assert "repro/sanitizer.py" in required

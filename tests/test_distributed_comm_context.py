@@ -1,7 +1,6 @@
 """Tests for the SpMV communication context (S_i, S_ik, R^c_i, m_i)."""
 
 import numpy as np
-import pytest
 import scipy.sparse as sp
 
 from repro.cluster import MachineModel, VirtualCluster

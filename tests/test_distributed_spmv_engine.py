@@ -27,7 +27,6 @@ from repro.distributed import (
     CommunicationContext,
     DistributedMatrix,
     DistributedVector,
-    SpmvEngine,
     distributed_spmv,
 )
 from repro.matrices import build_matrix, poisson_2d

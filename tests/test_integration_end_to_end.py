@@ -14,7 +14,6 @@ from repro.core.api import distribute_problem, reference_solve, resilient_solve
 from repro.core.metrics import compare_runs, residual_difference_of
 from repro.failures import FailureLocation, FailureScenario, resolve_events
 from repro.matrices import build_matrix
-from repro.precond import make_preconditioner
 
 
 MACHINE = MachineModel(jitter_rel_std=0.0)

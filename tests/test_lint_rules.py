@@ -1,0 +1,335 @@
+"""Tests for the project linter (`repro.lint`).
+
+Contract: every rule ID fires on a synthetic fixture containing the
+violation it documents and stays quiet on the sanctioned counterpart;
+``# noqa`` and the pinned allowlists suppress findings; the CLI maps
+clean/violations/errors to exit codes 0/1/2; and the real source tree is
+clean under all rules (the invariant CI enforces).
+"""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintError, Project, SourceFile, Violation, run_lint
+from repro.lint.cli import main as lint_main
+from repro.lint.engine import dotted_name, path_matches
+from repro.lint.registry import ALL_RULES, get_rule, rule_ids
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def write_module(tmp_path, source, rel="mod.py"):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+def lint_tree(tmp_path, *, tests_dir=None, select=None):
+    return run_lint([tmp_path], rules=ALL_RULES, tests_dir=tests_dir,
+                    select=select)
+
+
+def fired_ids(violations):
+    return sorted({v.rule_id for v in violations})
+
+
+class TestRegistry:
+    def test_rule_ids_complete_and_ordered(self):
+        assert list(rule_ids()) == \
+            ["R001", "R002", "R003", "R004", "R005", "R006"]
+
+    def test_get_rule_round_trips(self):
+        for rule_id in rule_ids():
+            assert get_rule(rule_id).id == rule_id
+
+    def test_get_rule_unknown(self):
+        with pytest.raises(KeyError):
+            get_rule("R999")
+
+    def test_every_rule_documented(self):
+        for rule in ALL_RULES:
+            assert rule.title
+            assert rule.__class__.__doc__
+
+
+class TestR001UnseededRng:
+    @pytest.mark.parametrize("source", [
+        "import random\n",
+        "from random import choice\n",
+        "import numpy as np\nx = np.random.rand(3)\n",
+        "import numpy as np\nrng = np.random.RandomState(0)\n",
+        "import numpy as np\nrng = np.random.default_rng()\n",
+        "import numpy as np\nrng = np.random.default_rng(None)\n",
+        "import numpy as np\nrng = np.random.default_rng(seed=None)\n",
+    ])
+    def test_fires(self, tmp_path, source):
+        write_module(tmp_path, source)
+        assert fired_ids(lint_tree(tmp_path, tests_dir=tmp_path)) == ["R001"]
+
+    @pytest.mark.parametrize("source", [
+        "import numpy as np\nrng = np.random.default_rng(42)\n",
+        "import numpy as np\nrng = np.random.default_rng(seed=7)\n",
+        "import numpy as np\ng = np.random.Generator(np.random.PCG64(1))\n",
+    ])
+    def test_clean(self, tmp_path, source):
+        write_module(tmp_path, source)
+        assert lint_tree(tmp_path, tests_dir=tmp_path) == []
+
+    def test_allowlisted_rng_module(self, tmp_path):
+        write_module(tmp_path, "import numpy as np\nx = np.random.rand()\n",
+                     rel="utils/rng.py")
+        assert lint_tree(tmp_path, tests_dir=tmp_path) == []
+
+
+class TestR002Wallclock:
+    @pytest.mark.parametrize("source", [
+        "import time\nt = time.time()\n",
+        "import time\nt = time.perf_counter\n",
+        "from time import perf_counter\n",
+        "import datetime\nnow = datetime.datetime.now()\n",
+    ])
+    def test_fires(self, tmp_path, source):
+        write_module(tmp_path, source)
+        assert fired_ids(lint_tree(tmp_path, tests_dir=tmp_path)) == ["R002"]
+
+    def test_non_wallclock_time_use_is_clean(self, tmp_path):
+        write_module(tmp_path, "import time\ntime.sleep(0.1)\n")
+        assert lint_tree(tmp_path, tests_dir=tmp_path) == []
+
+    @pytest.mark.parametrize("rel", [
+        "harness/experiment.py", "core/reconstruction.py",
+    ])
+    def test_allowlisted_timing_modules(self, tmp_path, rel):
+        write_module(tmp_path, "import time\nt = time.perf_counter()\n",
+                     rel=rel)
+        assert lint_tree(tmp_path, tests_dir=tmp_path) == []
+
+
+class TestR003RegisteredNames:
+    REGISTRATION = """\
+        from repro.core.registry import register_solver
+
+        @register_solver("ghost_solver")
+        def build(problem, spec):
+            return None
+    """
+
+    def test_uncovered_name_fires(self, tmp_path):
+        write_module(tmp_path, self.REGISTRATION)
+        tests_dir = tmp_path / "tests"
+        write_module(tests_dir, "def test_nothing():\n    assert True\n",
+                     rel="test_something.py")
+        violations = lint_tree(tmp_path, tests_dir=tests_dir)
+        assert fired_ids(violations) == ["R003"]
+        assert "ghost_solver" in violations[0].message
+
+    def test_covered_name_is_clean(self, tmp_path):
+        write_module(tmp_path, self.REGISTRATION)
+        tests_dir = tmp_path / "tests"
+        write_module(tests_dir,
+                     'NAMES = ["ghost_solver"]\n'
+                     "def test_names():\n    assert NAMES\n",
+                     rel="test_something.py")
+        assert lint_tree(tmp_path, tests_dir=tests_dir) == []
+
+    def test_missing_tests_dir_is_a_finding(self, tmp_path):
+        src = SourceFile.parse(
+            write_module(tmp_path, self.REGISTRATION), "mod.py")
+        project = Project([src], tests_dir=None)
+        violations = list(get_rule("R003").check_project(project))
+        assert len(violations) == 1
+        assert "no tests/ directory" in violations[0].message
+
+
+class TestR004NodeMemoryAccess:
+    @pytest.mark.parametrize("source", [
+        "def peek(node):\n    return node.memory['x']\n",
+        "from repro.cluster.node import NodeMemory\n",
+        "from repro.distributed.blockstore import NodeBlockStore\n",
+    ])
+    def test_fires(self, tmp_path, source):
+        write_module(tmp_path, source)
+        assert fired_ids(lint_tree(tmp_path, tests_dir=tmp_path)) == ["R004"]
+
+    @pytest.mark.parametrize("rel", [
+        "cluster/node.py", "distributed/blockstore.py", "core/esr.py",
+        "sanitizer.py",
+    ])
+    def test_storage_layer_allowlisted(self, tmp_path, rel):
+        write_module(tmp_path,
+                     "def peek(node):\n    return node.memory['x']\n",
+                     rel=rel)
+        assert lint_tree(tmp_path, tests_dir=tmp_path) == []
+
+    def test_get_block_is_clean(self, tmp_path):
+        write_module(tmp_path,
+                     "def peek(vec, rank):\n    return vec.get_block(rank)\n")
+        assert lint_tree(tmp_path, tests_dir=tmp_path) == []
+
+
+class TestR005UnorderedIteration:
+    @pytest.mark.parametrize("source", [
+        "for x in {1, 2, 3}:\n    print(x)\n",
+        "total = 0.0\nfor x in set(range(4)):\n    total += x\n",
+        "vals = [x for x in frozenset((1, 2))]\n",
+        "def f(times, snap):\n"
+        "    keys = set(times) | set(snap)\n"
+        "    return sum(times[k] for k in keys)\n",
+    ])
+    def test_fires(self, tmp_path, source):
+        write_module(tmp_path, source)
+        assert fired_ids(lint_tree(tmp_path, tests_dir=tmp_path)) == ["R005"]
+
+    @pytest.mark.parametrize("source", [
+        "for x in sorted({1, 2, 3}):\n    print(x)\n",
+        "for x in [1, 2, 3]:\n    print(x)\n",
+        # set-into-set is order-insensitive and sanctioned
+        "doubled = {2 * x for x in {1, 2}}\n",
+        # a name demoted from set to list is no longer flagged
+        "s = set()\ns = [1, 2]\nfor x in s:\n    print(x)\n",
+        # local set names do not leak into other functions
+        "def f():\n    s = {1}\n    return s\n"
+        "def g(s):\n    return [x for x in s]\n",
+    ])
+    def test_clean(self, tmp_path, source):
+        write_module(tmp_path, source)
+        assert lint_tree(tmp_path, tests_dir=tmp_path) == []
+
+    def test_augmented_set_ops_keep_the_type(self, tmp_path):
+        write_module(tmp_path,
+                     "def f(extra):\n"
+                     "    s = {1}\n"
+                     "    s |= extra\n"
+                     "    return [x for x in s]\n")
+        assert fired_ids(lint_tree(tmp_path, tests_dir=tmp_path)) == ["R005"]
+
+
+class TestR006FrozenSpecs:
+    @pytest.mark.parametrize("source", [
+        "def f(x, acc=[]):\n    return acc\n",
+        "def f(x, *, cache={}):\n    return cache\n",
+        "def f(opts=dict()):\n    return opts\n",
+        "def patch(spec):\n    object.__setattr__(spec, 'rtol', 0.0)\n",
+    ])
+    def test_fires(self, tmp_path, source):
+        write_module(tmp_path, source)
+        assert fired_ids(lint_tree(tmp_path, tests_dir=tmp_path)) == ["R006"]
+
+    @pytest.mark.parametrize("source", [
+        "def f(x, acc=None):\n    return acc or []\n",
+        "def f(x, n=3, name='a', flag=True):\n    return x\n",
+    ])
+    def test_clean(self, tmp_path, source):
+        write_module(tmp_path, source)
+        assert lint_tree(tmp_path, tests_dir=tmp_path) == []
+
+    def test_spec_module_allowlisted(self, tmp_path):
+        write_module(tmp_path,
+                     "def norm(spec):\n"
+                     "    object.__setattr__(spec, 'phi', 1)\n",
+                     rel="core/spec.py")
+        assert lint_tree(tmp_path, tests_dir=tmp_path) == []
+
+
+class TestEngineBehavior:
+    def test_noqa_bare_suppresses(self, tmp_path):
+        write_module(tmp_path, "import random  # noqa\n")
+        assert lint_tree(tmp_path, tests_dir=tmp_path) == []
+
+    def test_noqa_with_matching_code_suppresses(self, tmp_path):
+        write_module(tmp_path, "import random  # noqa: R001\n")
+        assert lint_tree(tmp_path, tests_dir=tmp_path) == []
+
+    def test_noqa_with_other_code_does_not_suppress(self, tmp_path):
+        write_module(tmp_path, "import random  # noqa: R002\n")
+        assert fired_ids(lint_tree(tmp_path, tests_dir=tmp_path)) == ["R001"]
+
+    def test_select_restricts_rules(self, tmp_path):
+        write_module(tmp_path, "import random\nimport time\nt = time.time()\n")
+        violations = lint_tree(tmp_path, tests_dir=tmp_path, select=["R002"])
+        assert fired_ids(violations) == ["R002"]
+
+    def test_unknown_select_rejected(self, tmp_path):
+        write_module(tmp_path, "x = 1\n")
+        with pytest.raises(LintError, match="unknown rule id"):
+            lint_tree(tmp_path, tests_dir=tmp_path, select=["R042"])
+
+    def test_missing_path_rejected(self, tmp_path):
+        with pytest.raises(LintError, match="no such file"):
+            lint_tree(tmp_path / "nope", tests_dir=tmp_path)
+
+    def test_unparseable_file_rejected(self, tmp_path):
+        write_module(tmp_path, "def broken(:\n")
+        with pytest.raises(LintError, match="cannot parse"):
+            lint_tree(tmp_path, tests_dir=tmp_path)
+
+    def test_violations_sorted_and_formatted(self, tmp_path):
+        write_module(tmp_path, "import time\nt = time.time()\nimport random\n")
+        violations = lint_tree(tmp_path, tests_dir=tmp_path)
+        assert [v.line for v in violations] == \
+            sorted(v.line for v in violations)
+        first = violations[0]
+        assert first.format() == \
+            f"{first.path}:{first.line}:{first.col}: " \
+            f"{first.rule_id} {first.message}"
+
+    def test_path_matches_suffix(self):
+        assert path_matches("utils/rng.py", ("utils/rng.py",))
+        assert path_matches("repro/utils/rng.py", ("utils/rng.py",))
+        assert not path_matches("utils/other.py", ("utils/rng.py",))
+
+    def test_dotted_name(self):
+        import ast
+        expr = ast.parse("a.b.c()").body[0].value
+        assert dotted_name(expr.func) == "a.b.c"
+        assert dotted_name(ast.parse("f()").body[0].value.func) == "f"
+
+    def test_violation_is_frozen(self):
+        violation = Violation("R001", "mod.py", 1, 0, "msg")
+        with pytest.raises(AttributeError):
+            violation.line = 2
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        write_module(tmp_path, "x = 1\n")
+        code = lint_main([str(tmp_path), "--tests-dir", str(tmp_path)])
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_violations_exit_one_and_print(self, tmp_path, capsys):
+        write_module(tmp_path, "import random\n")
+        code = lint_main([str(tmp_path), "--tests-dir", str(tmp_path)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "R001" in captured.out
+        assert "violation" in captured.err
+
+    def test_bad_select_exits_two(self, tmp_path, capsys):
+        write_module(tmp_path, "x = 1\n")
+        code = lint_main([str(tmp_path), "--select", "R042"])
+        assert code == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_select_flag(self, tmp_path):
+        write_module(tmp_path, "import random\n")
+        assert lint_main([str(tmp_path), "--tests-dir", str(tmp_path),
+                          "--select", "R002"]) == 0
+
+    def test_list_rules_documents_all_ids(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in rule_ids():
+            assert rule_id in out
+
+
+class TestRealTreeIsClean:
+    """The invariant the CI lint job enforces, asserted from the suite too."""
+
+    def test_src_repro_is_clean(self):
+        violations = run_lint([REPO_ROOT / "src" / "repro"], rules=ALL_RULES,
+                              tests_dir=REPO_ROOT / "tests")
+        assert violations == [], "\n".join(v.format() for v in violations)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.matrices.properties import is_symmetric, nnz_per_row
+from repro.matrices.properties import is_symmetric
 from repro.matrices.suite import build_matrix, get_record, matrix_ids, suite_table
 from repro.utils.validation import check_spd_sample
 

@@ -2,7 +2,6 @@
 
 import numpy as np
 import pytest
-import scipy.sparse as sp
 
 from repro.distributed import BlockRowPartition
 from repro.matrices import poisson_2d

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 import scipy.sparse as sp
 
-from repro.matrices import poisson_2d, diagonally_dominant_spd
+from repro.matrices import poisson_2d
 from repro.precond import JacobiPreconditioner, BlockJacobiPreconditioner
 from repro.solvers import bicgstab, cg, pcg, pcg_iteration_count_estimate
 

@@ -13,6 +13,20 @@ coverage improvement, run locally (or in a follow-up commit)::
 ``update`` never lowers the floor: it writes ``max(current floor, measured -
 MARGIN)``, keeping a small margin so runner-to-runner variation (e.g. python
 version dependent branches) cannot flake the gate.
+
+Besides the total floor, the ratchet file may carry ``required_modules`` --
+a mapping of module path prefixes (relative to ``src/``, ``/``-separated) to
+per-module line-coverage floors::
+
+    {
+      "min_line_coverage_percent": 80.0,
+      "required_modules": {"repro/lint": 85.0, "repro/sanitizer.py": 85.0}
+    }
+
+``check`` then also fails when a required module does not appear in the
+coverage report at all (e.g. the package was moved and silently dropped from
+collection) or when its aggregated line coverage is below its floor.
+``update`` preserves the ``required_modules`` section verbatim.
 """
 
 from __future__ import annotations
@@ -21,6 +35,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
+from typing import Dict, Tuple
 
 #: Slack between the measured coverage and the committed floor.
 MARGIN = 0.5
@@ -32,16 +47,49 @@ def measured_percent(coverage_json: Path) -> float:
     return float(data["totals"]["percent_covered"])
 
 
+def module_percents(coverage_json: Path,
+                    prefixes: Dict[str, float]) -> Dict[str, Tuple[int, float]]:
+    """Aggregated ``(n_files, percent)`` per required-module prefix.
+
+    A file counts towards prefix ``p`` when its report path, normalised to
+    ``/`` separators and stripped of a leading ``src/``, equals ``p`` or
+    lives under ``p/``.  Missing prefixes map to ``(0, 0.0)``.
+    """
+    data = json.loads(coverage_json.read_text())
+    out: Dict[str, Tuple[int, float]] = {}
+    for prefix in prefixes:
+        n_files = 0
+        statements = 0
+        covered = 0
+        for path, entry in data.get("files", {}).items():
+            norm = path.replace("\\", "/")
+            if norm.startswith("src/"):
+                norm = norm[len("src/"):]
+            if norm == prefix or norm.startswith(prefix.rstrip("/") + "/"):
+                summary = entry["summary"]
+                n_files += 1
+                statements += int(summary["num_statements"])
+                covered += int(summary["covered_lines"])
+        percent = 100.0 * covered / statements if statements else 0.0
+        out[prefix] = (n_files, percent)
+    return out
+
+
+def read_ratchet(ratchet_file: Path) -> dict:
+    return json.loads(ratchet_file.read_text())
+
+
 def read_floor(ratchet_file: Path) -> float:
-    data = json.loads(ratchet_file.read_text())
-    return float(data["min_line_coverage_percent"])
+    return float(read_ratchet(ratchet_file)["min_line_coverage_percent"])
 
 
 def check(coverage_json: Path, ratchet_file: Path) -> int:
+    ratchet = read_ratchet(ratchet_file)
     measured = measured_percent(coverage_json)
-    floor = read_floor(ratchet_file)
+    floor = float(ratchet["min_line_coverage_percent"])
     print(f"line coverage: measured {measured:.2f}%, "
           f"committed floor {floor:.2f}%")
+    status = 0
     if measured < floor:
         print(
             f"ERROR: coverage regressed below the ratchet floor "
@@ -50,20 +98,50 @@ def check(coverage_json: Path, ratchet_file: Path) -> int:
             f"justify it in the description.",
             file=sys.stderr,
         )
-        return 1
-    headroom = measured - floor
-    if headroom > 2.0:
-        print(f"note: {headroom:.2f}% headroom -- consider ratcheting the "
-              f"floor up with the 'update' command")
-    return 0
+        status = 1
+    required = {str(k): float(v)
+                for k, v in ratchet.get("required_modules", {}).items()}
+    for prefix, (n_files, percent) in sorted(
+            module_percents(coverage_json, required).items()):
+        module_floor = required[prefix]
+        if n_files == 0:
+            print(
+                f"ERROR: required module {prefix!r} is absent from the "
+                f"coverage report -- it was moved, renamed or dropped from "
+                f"collection without updating {ratchet_file}.",
+                file=sys.stderr,
+            )
+            status = 1
+            continue
+        print(f"module {prefix}: {n_files} file(s), {percent:.2f}% "
+              f"(floor {module_floor:.2f}%)")
+        if percent < module_floor:
+            print(
+                f"ERROR: module {prefix!r} coverage {percent:.2f}% is below "
+                f"its floor {module_floor:.2f}%.",
+                file=sys.stderr,
+            )
+            status = 1
+    if status == 0:
+        headroom = measured - floor
+        if headroom > 2.0:
+            print(f"note: {headroom:.2f}% headroom -- consider ratcheting the "
+                  f"floor up with the 'update' command")
+    return status
 
 
 def update(coverage_json: Path, ratchet_file: Path) -> int:
     measured = measured_percent(coverage_json)
-    current = read_floor(ratchet_file) if ratchet_file.exists() else 0.0
+    if ratchet_file.exists():
+        ratchet = read_ratchet(ratchet_file)
+    else:
+        ratchet = {"min_line_coverage_percent": 0.0}
+    current = float(ratchet["min_line_coverage_percent"])
     new_floor = max(current, round(measured - MARGIN, 2))
-    ratchet_file.write_text(json.dumps(
-        {"min_line_coverage_percent": new_floor}, indent=2) + "\n")
+    ratchet["min_line_coverage_percent"] = new_floor
+    # ``required_modules`` floors are policy, not measurements: preserved.
+    ratchet_file.write_text(json.dumps(ratchet, indent=2, sort_keys=True)
+                            + "\n")
     print(f"ratchet floor: {current:.2f}% -> {new_floor:.2f}% "
           f"(measured {measured:.2f}%, margin {MARGIN}%)")
     return 0
