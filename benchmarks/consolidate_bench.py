@@ -1,12 +1,14 @@
 """Consolidate individual benchmark JSON outputs into one tracking file.
 
-The CI bench smoke job runs the SpMV and solver benchmarks
+The CI bench smoke job runs the SpMV, solver and reliability benchmarks
 (``bench_spmv_engine.py``, ``bench_spmv_overlap.py``,
-``bench_block_pcg.py``, ``bench_resilient_block_pcg.py``) with ``--json``
-and merges their outputs into a single ``BENCH_spmv.json`` at the repository
-root, so the performance trajectory (engine speedup, overlap gain, multi-RHS
+``bench_block_pcg.py``, ``bench_resilient_block_pcg.py``,
+``bench_reliability_campaign.py``) with ``--json`` and merges their outputs
+into a single ``BENCH_spmv.json`` at the repository root, so the
+performance trajectory (engine speedup, overlap gain, multi-RHS
 amortization, block-PCG allreduce amortization, resilient-block recovery
-amortization) is tracked PR over PR from one artifact.
+amortization, campaign survival probabilities per placement) is tracked PR
+over PR from one artifact.
 
 Usage::
 

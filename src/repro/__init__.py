@@ -51,6 +51,7 @@ from .cluster import (
     VirtualCluster,
 )
 from .core import (
+    PLACEMENTS,
     SOLVERS,
     BackupPlacement,
     BlockPCG,
@@ -61,6 +62,8 @@ from .core import (
     DistributedSolveResult,
     ESRProtocol,
     ESRReconstructor,
+    PlacementStrategy,
+    RackLayout,
     RecoveryReport,
     RedundancyScheme,
     ResilienceSpec,
@@ -70,12 +73,21 @@ from .core import (
     SolveSpec,
     distribute_problem,
     reference_solve,
+    register_placement,
     register_solver,
     resilient_solve,
     solve,
     solve_with_failures,
 )
-from .failures import FailureLocation, FailureScenario
+from .failures import (
+    FailureLocation,
+    FailureScenario,
+    FailureTrace,
+    LifetimeModel,
+    TraceSpec,
+    generate_trace,
+)
+from .harness import CampaignSpec, run_campaign
 from .precond import make_preconditioner
 from .solvers import SolveResult, pcg
 
@@ -113,13 +125,23 @@ __all__ = [
     "RecoveryReport",
     "RedundancyScheme",
     "BackupPlacement",
+    "PLACEMENTS",
+    "PlacementStrategy",
+    "RackLayout",
+    "register_placement",
     "distribute_problem",
     "reference_solve",
     "resilient_solve",
     "solve_with_failures",
-    # scenarios / helpers
+    # scenarios / traces / campaigns
     "FailureScenario",
     "FailureLocation",
+    "FailureTrace",
+    "LifetimeModel",
+    "TraceSpec",
+    "generate_trace",
+    "CampaignSpec",
+    "run_campaign",
     "make_preconditioner",
     "SolveResult",
     "pcg",

@@ -105,13 +105,22 @@ class FailureInjector:
         return due
 
     def trigger(self, idx: int, nodes: Sequence[Node]) -> FailureEvent:
-        """Fire event *idx*: fail the listed nodes and mark the event done."""
+        """Fire event *idx*: fail the listed nodes and mark the event done.
+
+        Ranks that are already failed when the event strikes (possible with
+        stochastic schedules: two generated events can name the same rank
+        before a recovery replaced it) are skipped deterministically -- a
+        node only fails once per episode, so ``failure_count`` and the
+        cleared memory reflect real transitions, never double-kills.  The
+        event is marked triggered either way.
+        """
         if idx in self._triggered:
             raise ValidationError(f"failure event {idx} already triggered")
         event = self._events[idx]
         check_rank_list(event.ranks, len(nodes), "failure ranks")
         for rank in event.ranks:
-            nodes[rank].fail()
+            if not nodes[rank].is_failed:
+                nodes[rank].fail()
         self._triggered.add(idx)
         return event
 

@@ -24,6 +24,14 @@ from .metrics import (
     state_difference,
 )
 from .pcg import DistributedPCG, DistributedSolveResult
+from .placement import (
+    PLACEMENTS,
+    PlacementRegistry,
+    PlacementStrategy,
+    RackLayout,
+    register_placement,
+    resolve_placement,
+)
 from .reconstruction import ESRReconstructor, RecoveryReport
 from .redundancy import (
     BackupPlacement,
@@ -50,6 +58,12 @@ __all__ = [
     "BackupPlacement",
     "backup_targets",
     "paper_backup_target",
+    "PLACEMENTS",
+    "PlacementRegistry",
+    "PlacementStrategy",
+    "RackLayout",
+    "register_placement",
+    "resolve_placement",
     "DistributedProblem",
     "distribute_problem",
     "solve",

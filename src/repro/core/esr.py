@@ -65,6 +65,7 @@ from ..cluster.errors import NodeFailedError, UnrecoverableStateError
 from ..distributed.comm_context import CommunicationContext
 from ..distributed.dvector import DistributedVector
 from ..distributed.partition import BlockRowPartition
+from .placement import PlacementLike
 from .redundancy import BackupPlacement, RedundancyScheme
 
 #: Node-memory key prefix for ESR ghost stores.
@@ -283,7 +284,7 @@ class ESRProtocol:
     """Maintains the redundant copies required by the ESR approach."""
 
     def __init__(self, cluster: VirtualCluster, context: CommunicationContext,
-                 phi: int, *, placement: BackupPlacement = BackupPlacement.PAPER,
+                 phi: int, *, placement: PlacementLike = BackupPlacement.PAPER,
                  scheme: Optional[RedundancyScheme] = None,
                  matrix=None, n_cols: Optional[int] = None):
         self.cluster = cluster

@@ -1,0 +1,334 @@
+"""Backup-node placement strategies behind a decorator registry.
+
+The paper selects the ``phi`` backup nodes ``d_i1 .. d_iphi`` of owner ``i``
+with the alternating-neighbour heuristic of Eqn. (5) and explicitly leaves
+the optimal placement for general settings as future work.  This module
+turns the placement choice into a registry (mirroring
+:data:`repro.core.registry.SOLVERS` and the preconditioner factory): each
+strategy is a function registered under a short name via
+``@register_placement("name")``, and :class:`~repro.core.redundancy.
+RedundancyScheme` resolves whatever a :class:`~repro.core.spec.
+ResilienceSpec` carries -- a :class:`BackupPlacement` enum member, a
+registered name, or a :class:`PlacementStrategy` -- through
+:func:`resolve_placement`.
+
+Besides the three historical options (``"paper"``, ``"next_ranks"``,
+``"random"``), two failure-domain-aware strategies are provided for the
+reliability campaigns of :mod:`repro.harness.campaign`:
+
+``"rack_aware"``
+    Spread the backups over ranks in *other* racks (failure domains), so a
+    correlated burst that takes out the owner's whole rack never takes the
+    designated backups with it.
+``"copyset"``
+    Copyset-style placement: the ranks are grouped into a small number of
+    fixed copysets of ``phi + 1`` members each (built rack-striding, so a
+    set spans as many racks as possible) and an owner's backups all come
+    from its own copyset.  This minimises the number of distinct
+    ``phi + 1``-subsets whose simultaneous loss is fatal.
+
+Racks are modelled by :class:`RackLayout`: ``rack_size`` contiguous ranks
+per rack, matching how the correlated bursts of
+:mod:`repro.failures.traces` strike.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from ..utils.rng import RandomState, as_rng
+
+
+class BackupPlacement(enum.Enum):
+    """Strategy for choosing the backup nodes ``d_ik`` (legacy enum).
+
+    The enum predates the placement registry and is kept as the stable
+    spelling of the three original strategies; every member's ``value`` is
+    also a registered strategy name, and anywhere a placement is accepted a
+    registered name string works as well (``"copyset"``, ``"rack_aware"``).
+    """
+
+    #: Eqn. (5): alternate +-1, +-2, ... ranks around the owner.
+    PAPER = "paper"
+    #: The next ``phi`` ranks ``i+1, ..., i+phi`` (mod N).
+    NEXT_RANKS = "next_ranks"
+    #: ``phi`` distinct ranks chosen uniformly at random (per owner).
+    RANDOM = "random"
+
+
+#: Rack size used when a rack-aware strategy runs without an explicit layout.
+DEFAULT_RACK_SIZE = 4
+
+
+@dataclass(frozen=True)
+class RackLayout:
+    """Contiguous-rank rack model: rack ``j`` holds ranks ``[j*s, (j+1)*s)``.
+
+    This is the failure-domain model shared by the placement strategies and
+    the correlated-burst trace generator
+    (:class:`repro.failures.traces.TraceSpec`): a "rack" is ``rack_size``
+    contiguous ranks (the last rack may be smaller).
+    """
+
+    n_nodes: int
+    rack_size: int
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError(f"n_nodes must be positive, got {self.n_nodes}")
+        if self.rack_size < 1:
+            raise ValueError(
+                f"rack_size must be positive, got {self.rack_size}")
+
+    @classmethod
+    def default(cls, n_nodes: int,
+                rack_size: Optional[int] = None) -> "RackLayout":
+        """Layout for *n_nodes*, clamping the rack size to keep >= 2 racks.
+
+        With fewer than two racks every rack-aware strategy would degenerate
+        (there is no "other" failure domain), so the default rack size is
+        ``min(DEFAULT_RACK_SIZE, ceil(n_nodes / 2))``.  An explicit
+        *rack_size* is taken as-is.
+        """
+        if rack_size is not None:
+            return cls(n_nodes, int(rack_size))
+        return cls(n_nodes, min(DEFAULT_RACK_SIZE, max(1, (n_nodes + 1) // 2)))
+
+    @property
+    def n_racks(self) -> int:
+        return -(-self.n_nodes // self.rack_size)
+
+    def rack_of(self, rank: int) -> int:
+        if not 0 <= rank < self.n_nodes:
+            raise ValueError(
+                f"rank {rank} out of range for {self.n_nodes} nodes")
+        return rank // self.rack_size
+
+    def position_in_rack(self, rank: int) -> int:
+        """Offset of *rank* inside its rack (0-based)."""
+        return rank - self.rack_of(rank) * self.rack_size
+
+    def ranks_in(self, rack: int) -> List[int]:
+        if not 0 <= rack < self.n_racks:
+            raise ValueError(
+                f"rack {rack} out of range for {self.n_racks} racks")
+        start = rack * self.rack_size
+        return list(range(start, min(start + self.rack_size, self.n_nodes)))
+
+    def racks(self) -> List[List[int]]:
+        return [self.ranks_in(j) for j in range(self.n_racks)]
+
+
+#: A placement function: ``(owner, phi, n_nodes, *, racks, rng) -> targets``.
+PlacementFn = Callable[..., List[int]]
+
+
+@dataclass(frozen=True)
+class PlacementStrategy:
+    """A registered placement policy (name + target-selection function)."""
+
+    name: str
+    fn: PlacementFn
+    description: str = ""
+
+    @property
+    def value(self) -> str:
+        """The registered name (``BackupPlacement``-compatible spelling)."""
+        return self.name
+
+    def targets(self, owner: int, phi: int, n_nodes: int, *,
+                racks: Optional[RackLayout] = None,
+                rng: Optional[RandomState] = None) -> List[int]:
+        return self.fn(owner, phi, n_nodes, racks=racks, rng=rng)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"PlacementStrategy({self.name!r})"
+
+
+class PlacementRegistry:
+    """Name -> :class:`PlacementStrategy` mapping with a decorator API."""
+
+    def __init__(self) -> None:
+        self._strategies: Dict[str, PlacementStrategy] = {}
+
+    def register(self, name: str, description: str = ""
+                 ) -> Callable[[PlacementFn], PlacementFn]:
+        """Decorator registering a placement function under *name*."""
+        key = str(name).lower()
+
+        def decorator(fn: PlacementFn) -> PlacementFn:
+            self._strategies[key] = PlacementStrategy(key, fn, description)
+            return fn
+
+        return decorator
+
+    def names(self) -> Tuple[str, ...]:
+        """The registered strategy names, sorted."""
+        return tuple(sorted(self._strategies))
+
+    def get(self, name: str) -> PlacementStrategy:
+        """The strategy registered under *name* (case-insensitive).
+
+        Raises ``ValueError`` listing every registered name when *name* is
+        unknown (mirroring :class:`repro.core.registry.SolverRegistry`).
+        """
+        key = str(name).lower()
+        try:
+            return self._strategies[key]
+        except KeyError:
+            raise ValueError(
+                f"unknown placement {name!r}; available: {self.names()}"
+            ) from None
+
+
+#: The default registry consulted by :func:`resolve_placement`.
+PLACEMENTS = PlacementRegistry()
+
+#: Register a placement strategy in the default registry (decorator).
+register_placement = PLACEMENTS.register
+
+#: Anything the configuration surface accepts as a placement.
+PlacementLike = Union[BackupPlacement, str, PlacementStrategy]
+
+
+def resolve_placement(placement: PlacementLike) -> PlacementStrategy:
+    """Resolve an enum member / registered name / strategy to the strategy."""
+    if isinstance(placement, PlacementStrategy):
+        return placement
+    if isinstance(placement, BackupPlacement):
+        return PLACEMENTS.get(placement.value)
+    return PLACEMENTS.get(placement)
+
+
+def normalize_placement(placement: PlacementLike
+                        ) -> Union[BackupPlacement, str]:
+    """Canonical spec-level spelling of *placement*.
+
+    The three historical strategies normalise to their
+    :class:`BackupPlacement` member (so existing ``spec.placement is
+    BackupPlacement.X`` identity checks keep working); every other
+    registered strategy normalises to its lower-case name.  Unknown names
+    raise ``ValueError`` listing the registered strategies.
+    """
+    strategy = resolve_placement(placement)
+    try:
+        return BackupPlacement(strategy.name)
+    except ValueError:
+        return strategy.name
+
+
+def placement_name(placement: PlacementLike) -> str:
+    """The registered-name string of *placement* (for reports and JSON)."""
+    return resolve_placement(placement).name
+
+
+def paper_backup_target(owner: int, k: int, n_nodes: int) -> int:
+    """``d_ik`` of Eqn. (5) (1-based round index ``k``)."""
+    if k < 1:
+        raise ValueError(f"round index k must be >= 1, got {k}")
+    if k % 2 == 1:
+        return (owner + math.ceil(k / 2)) % n_nodes
+    return (owner - k // 2) % n_nodes
+
+
+@register_placement("paper", "Eqn. (5): alternating +-1, +-2, ... neighbours")
+def _paper_placement(owner: int, phi: int, n_nodes: int, *,
+                     racks: Optional[RackLayout] = None,
+                     rng: Optional[RandomState] = None) -> List[int]:
+    return [paper_backup_target(owner, k, n_nodes) for k in range(1, phi + 1)]
+
+
+@register_placement("next_ranks", "the next phi ranks i+1 .. i+phi (mod N)")
+def _next_ranks_placement(owner: int, phi: int, n_nodes: int, *,
+                          racks: Optional[RackLayout] = None,
+                          rng: Optional[RandomState] = None) -> List[int]:
+    return [(owner + k) % n_nodes for k in range(1, phi + 1)]
+
+
+@register_placement("random", "phi distinct ranks chosen uniformly per owner")
+def _random_placement(owner: int, phi: int, n_nodes: int, *,
+                      racks: Optional[RackLayout] = None,
+                      rng: Optional[RandomState] = None) -> List[int]:
+    # Per-owner seeding by default: reproducible without any configuration,
+    # and bit-identical to the pre-registry implementation.
+    rng = as_rng(rng if rng is not None else owner)
+    candidates = [r for r in range(n_nodes) if r != owner]
+    idx = rng.choice(len(candidates), size=phi, replace=False)
+    return [candidates[int(t)] for t in idx]
+
+
+@register_placement("rack_aware",
+                    "spread the backups over ranks in other racks")
+def _rack_aware_placement(owner: int, phi: int, n_nodes: int, *,
+                          racks: Optional[RackLayout] = None,
+                          rng: Optional[RandomState] = None) -> List[int]:
+    layout = racks if racks is not None else RackLayout.default(n_nodes)
+    owner_rack = layout.rack_of(owner)
+    targets: List[int] = []
+    chosen = {owner}
+    used_racks = {owner_rack}
+    # Pass 1: walk away from the owner, taking at most one rank per rack and
+    # skipping the owner's own rack entirely -- each backup lands in a fresh
+    # failure domain.
+    for off in range(1, n_nodes):
+        if len(targets) == phi:
+            break
+        rank = (owner + off) % n_nodes
+        rack = layout.rack_of(rank)
+        if rack not in used_racks:
+            targets.append(rank)
+            chosen.add(rank)
+            used_racks.add(rack)
+    # Pass 2 (fewer racks than phi + 1): any off-rack rank.
+    for off in range(1, n_nodes):
+        if len(targets) == phi:
+            break
+        rank = (owner + off) % n_nodes
+        if rank not in chosen and layout.rack_of(rank) != owner_rack:
+            targets.append(rank)
+            chosen.add(rank)
+    # Pass 3 (phi too large for the off-rack population): anything distinct.
+    for off in range(1, n_nodes):
+        if len(targets) == phi:
+            break
+        rank = (owner + off) % n_nodes
+        if rank not in chosen:
+            targets.append(rank)
+            chosen.add(rank)
+    return targets
+
+
+@register_placement("copyset",
+                    "fixed rack-striding copysets of phi + 1 ranks")
+def _copyset_placement(owner: int, phi: int, n_nodes: int, *,
+                       racks: Optional[RackLayout] = None,
+                       rng: Optional[RandomState] = None) -> List[int]:
+    if phi == 0:
+        return []
+    layout = racks if racks is not None else RackLayout.default(n_nodes)
+    # Rack-striding permutation: first one rank per rack, then the second
+    # rank of every rack, ... -- consecutive entries live in distinct racks,
+    # so a contiguous group of phi + 1 entries spans as many racks as exist.
+    order = sorted(range(n_nodes),
+                   key=lambda r: (layout.position_in_rack(r),
+                                  layout.rack_of(r)))
+    group_size = phi + 1
+    n_groups = max(n_nodes // group_size, 1)
+    pos = order.index(owner)
+    group = min(pos // group_size, n_groups - 1)
+    start = group * group_size
+    # The last group absorbs the remainder so every group has >= phi + 1
+    # members.
+    stop = start + group_size if group < n_groups - 1 else n_nodes
+    members = order[start:stop]
+    at = members.index(owner)
+    ring = members[at + 1:] + members[:at]
+    # Off-rack members first (stable within each class): the round-1 backup
+    # -- which receives the largest extra sets -- never shares the owner's
+    # failure domain when the copyset spans more than one rack.
+    owner_rack = layout.rack_of(owner)
+    ring.sort(key=lambda r: layout.rack_of(r) == owner_rack)
+    return ring[:phi]

@@ -19,14 +19,15 @@ distinct nodes other than its owner.
 :class:`~repro.distributed.comm_context.CommunicationContext`, provides the
 held-element pattern the ESR protocol stores each iteration, and knows the
 per-round communication overhead of Sec. 4.2.  Alternative placements (naive
-next-ranks, random) are included for the placement ablation the paper lists
-as future work.
+next-ranks, random, and the failure-domain-aware strategies of
+:mod:`repro.core.placement`) are included for the placement ablation the
+paper lists as future work; the strategy registry itself lives in
+:mod:`repro.core.placement` and this module re-exports the historical
+names (``BackupPlacement``, ``paper_backup_target``).
 """
 
 from __future__ import annotations
 
-import enum
-import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -35,36 +36,35 @@ import numpy as np
 from ..cluster.network import Topology
 from ..distributed.comm_context import CommunicationContext
 from ..distributed.partition import BlockRowPartition
-from ..utils.rng import RandomState, as_rng
+from ..utils.rng import RandomState
+from .placement import (  # re-exported for backwards compatibility
+    BackupPlacement,
+    PlacementLike,
+    RackLayout,
+    paper_backup_target,
+    resolve_placement,
+)
 
-
-class BackupPlacement(enum.Enum):
-    """Strategy for choosing the backup nodes ``d_ik``."""
-
-    #: Eqn. (5): alternate +-1, +-2, ... ranks around the owner.
-    PAPER = "paper"
-    #: The next ``phi`` ranks ``i+1, ..., i+phi`` (mod N).
-    NEXT_RANKS = "next_ranks"
-    #: ``phi`` distinct ranks chosen uniformly at random (per owner).
-    RANDOM = "random"
-
-
-def paper_backup_target(owner: int, k: int, n_nodes: int) -> int:
-    """``d_ik`` of Eqn. (5) (1-based round index ``k``)."""
-    if k < 1:
-        raise ValueError(f"round index k must be >= 1, got {k}")
-    if k % 2 == 1:
-        return (owner + math.ceil(k / 2)) % n_nodes
-    return (owner - k // 2) % n_nodes
+__all__ = [
+    "BackupPlacement",
+    "OwnerRedundancy",
+    "RedundancyScheme",
+    "backup_targets",
+    "paper_backup_target",
+]
 
 
 def backup_targets(owner: int, phi: int, n_nodes: int,
-                   placement: BackupPlacement = BackupPlacement.PAPER,
-                   rng: Optional[RandomState] = None) -> List[int]:
+                   placement: PlacementLike = BackupPlacement.PAPER,
+                   rng: Optional[RandomState] = None,
+                   racks: Optional[RackLayout] = None) -> List[int]:
     """The ``phi`` backup nodes of *owner* under the chosen placement.
 
-    The targets are guaranteed to be distinct and different from the owner;
-    this requires ``phi < n_nodes``.
+    *placement* may be a :class:`BackupPlacement` member, a name registered
+    in :data:`repro.core.placement.PLACEMENTS`, or a strategy object;
+    *racks* feeds the rack-aware strategies (``None`` = the default layout
+    of :meth:`RackLayout.default`).  The targets are guaranteed to be
+    distinct and different from the owner; this requires ``phi < n_nodes``.
     """
     if not 0 <= owner < n_nodes:
         raise ValueError(f"owner {owner} out of range for {n_nodes} nodes")
@@ -75,20 +75,14 @@ def backup_targets(owner: int, phi: int, n_nodes: int,
             f"phi must be smaller than the number of nodes ({phi} >= {n_nodes}): "
             "fewer than phi+1 distinct nodes cannot hold phi+1 copies"
         )
-    if placement is BackupPlacement.PAPER:
-        targets = [paper_backup_target(owner, k, n_nodes) for k in range(1, phi + 1)]
-    elif placement is BackupPlacement.NEXT_RANKS:
-        targets = [(owner + k) % n_nodes for k in range(1, phi + 1)]
-    else:
-        rng = as_rng(rng if rng is not None else owner)
-        candidates = [r for r in range(n_nodes) if r != owner]
-        idx = rng.choice(len(candidates), size=phi, replace=False)
-        targets = [candidates[int(t)] for t in idx]
-    if len(set(targets)) != len(targets) or owner in targets:
+    strategy = resolve_placement(placement)
+    targets = strategy.targets(owner, phi, n_nodes, racks=racks, rng=rng)
+    if len(targets) != phi or len(set(targets)) != len(targets) \
+            or owner in targets:
         raise AssertionError(
             f"invalid backup targets {targets} for owner {owner} (N={n_nodes})"
         )
-    return targets
+    return [int(t) for t in targets]
 
 
 @dataclass(frozen=True)
@@ -119,20 +113,25 @@ class RedundancyScheme:
     """Computes and stores the multi-failure redundancy sets of Sec. 4.1."""
 
     def __init__(self, context: CommunicationContext, phi: int, *,
-                 placement: BackupPlacement = BackupPlacement.PAPER,
-                 rng: Optional[RandomState] = None):
+                 placement: PlacementLike = BackupPlacement.PAPER,
+                 rng: Optional[RandomState] = None,
+                 rack_size: Optional[int] = None):
         if phi < 0:
             raise ValueError(f"phi must be non-negative, got {phi}")
         self.context = context
         self.partition: BlockRowPartition = context.partition
         self.phi = int(phi)
-        self.placement = placement
+        #: The resolved strategy; ``.value`` is the registered name, so the
+        #: pre-registry ``scheme.placement.value`` spelling keeps working.
+        self.placement = resolve_placement(placement)
         n_nodes = self.partition.n_parts
         if phi >= n_nodes:
             raise ValueError(
                 f"phi={phi} requires at least phi+1={phi + 1} nodes, "
                 f"but the cluster has {n_nodes}"
             )
+        #: Failure-domain layout fed to the rack-aware strategies.
+        self.racks = RackLayout.default(n_nodes, rack_size)
         self._rng = rng
         self._owners: Dict[int, OwnerRedundancy] = {}
         for owner in range(n_nodes):
@@ -160,7 +159,7 @@ class RedundancyScheme:
         multiplicity = self.context.multiplicity(owner).copy()
 
         targets = backup_targets(owner, self.phi, n_nodes, self.placement,
-                                 rng=self._rng)
+                                 rng=self._rng, racks=self.racks)
 
         # Membership masks: does backup d_ik naturally receive element s?
         member = np.zeros((self.phi, size), dtype=bool)

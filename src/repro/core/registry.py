@@ -146,7 +146,8 @@ def build_resilient_pcg(problem: "DistributedProblem",
     return ResilientPCG(
         problem.matrix, _require_single_rhs(rhs, "resilient_pcg"),
         preconditioner,
-        phi=res.phi, placement=res.placement, failure_injector=injector,
+        phi=res.phi, placement=res.placement, rack_size=res.rack_size,
+        failure_injector=injector,
         local_solver_method=res.local_solver_method,
         local_rtol=res.local_rtol,
         reconstruction_form=res.reconstruction_form,
@@ -204,7 +205,8 @@ def build_resilient_block_pcg(problem: "DistributedProblem",
     injector = FailureInjector(list(res.failures)) if res.failures else None
     return ResilientBlockPCG(
         problem.matrix, rhs, preconditioner,
-        phi=res.phi, placement=res.placement, failure_injector=injector,
+        phi=res.phi, placement=res.placement, rack_size=res.rack_size,
+        failure_injector=injector,
         local_solver_method=res.local_solver_method,
         local_rtol=res.local_rtol,
         reconstruction_form=res.reconstruction_form,

@@ -53,6 +53,7 @@ from ..distributed.dmultivector import DistributedMultiVector
 from ..precond.base import Preconditioner, PreconditionerForm
 from ..utils.logging import get_logger
 from .block_pcg import BlockPCG
+from .placement import PlacementLike
 from .redundancy import BackupPlacement
 from .resilient_pcg import EsrResilienceMixin
 
@@ -95,7 +96,8 @@ class ResilientBlockPCG(EsrResilienceMixin, BlockPCG):
                  rhs: DistributedMultiVector,
                  preconditioner: Optional[Preconditioner] = None, *,
                  phi: int = 1,
-                 placement: BackupPlacement = BackupPlacement.PAPER,
+                 placement: PlacementLike = BackupPlacement.PAPER,
+                 rack_size: Optional[int] = None,
                  failure_injector: Optional[FailureInjector] = None,
                  local_solver_method: str = "pcg_ilu",
                  local_rtol: float = 1e-14,
@@ -114,7 +116,7 @@ class ResilientBlockPCG(EsrResilienceMixin, BlockPCG):
             phi=phi, placement=placement, failure_injector=failure_injector,
             local_solver_method=local_solver_method, local_rtol=local_rtol,
             reconstruction_form=reconstruction_form,
-            n_cols=self.n_cols,
+            n_cols=self.n_cols, rack_size=rack_size,
         )
     # ``solve`` comes from EsrResilienceMixin: the BlockPCG loop plus the
     # resilience metadata decoration, shared verbatim with ResilientPCG.

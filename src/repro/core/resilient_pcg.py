@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from ..cluster.errors import UnrecoverableStateError
 from ..cluster.failure import FailureInjector
 from ..distributed.comm_context import CommunicationContext
 from ..distributed.dmatrix import DistributedMatrix
@@ -38,6 +39,7 @@ from ..precond.base import Preconditioner, PreconditionerForm
 from ..utils.logging import get_logger
 from .esr import ESRProtocol
 from .pcg import DistributedPCG
+from .placement import PlacementLike, resolve_placement
 from .reconstruction import ESRReconstructor, RecoveryReport
 from .redundancy import BackupPlacement, RedundancyScheme
 
@@ -57,11 +59,12 @@ class EsrResilienceMixin:
     ResilientBlockPCG`'s failure paths).
     """
 
-    def _init_resilience(self, *, phi: int, placement: BackupPlacement,
+    def _init_resilience(self, *, phi: int, placement: PlacementLike,
                          failure_injector: Optional[FailureInjector],
                          local_solver_method: str, local_rtol: float,
                          reconstruction_form: Optional[PreconditionerForm],
-                         n_cols: Optional[int] = None) -> None:
+                         n_cols: Optional[int] = None,
+                         rack_size: Optional[int] = None) -> None:
         if phi < 0:
             raise ValueError(f"phi must be non-negative, got {phi}")
         if failure_injector is not None:
@@ -73,15 +76,16 @@ class EsrResilienceMixin:
                     worst, phi,
                 )
         self.phi = int(phi)
-        self.placement = placement
+        self.placement = resolve_placement(placement)
         self.scheme = RedundancyScheme(self.context, self.phi,
-                                       placement=placement)
+                                       placement=self.placement,
+                                       rack_size=rack_size)
         # Handing the matrix to the protocol lets the fused redundancy
         # staging reuse the SpMV engine's already-staged send pool (single-
         # vector or batched) each iteration instead of re-gathering the
         # natural halo values.
         self.esr = ESRProtocol(self.cluster, self.context, self.phi,
-                               placement=placement, scheme=self.scheme,
+                               placement=self.placement, scheme=self.scheme,
                                matrix=self.matrix, n_cols=n_cols)
         self.reconstructor = ESRReconstructor(
             self.cluster, self.matrix, self.rhs, self.preconditioner,
@@ -117,13 +121,19 @@ class EsrResilienceMixin:
         failed_ranks = sorted(set(failed_ranks) | set(newly_detected))
         self.cluster.comm.drop_messages_to_failed()
 
-        report = self.reconstructor.reconstruct(
-            failed_ranks,
-            iteration=iteration,
-            x=self.x, r=self.r, z=self.z, p=self.p,
-            beta_fallback=self.beta_prev,
-            overlap_provider=self._make_overlap_provider(iteration),
-        )
+        try:
+            report = self.reconstructor.reconstruct(
+                failed_ranks,
+                iteration=iteration,
+                x=self.x, r=self.r, z=self.z, p=self.p,
+                beta_fallback=self.beta_prev,
+                overlap_provider=self._make_overlap_provider(iteration),
+            )
+        except UnrecoverableStateError as exc:
+            # Tag the loss point so campaign-style consumers can report a
+            # time-to-unrecoverable-loss distribution from the typed error.
+            exc.iteration = iteration
+            raise
         self.recovery_reports.append(report)
         record = self.cluster.ulfm.begin_recovery(iteration, report.failed_ranks)
         record.restarts = report.restarts
@@ -190,7 +200,8 @@ class ResilientPCG(EsrResilienceMixin, DistributedPCG):
     def __init__(self, matrix: DistributedMatrix, rhs: DistributedVector,
                  preconditioner: Optional[Preconditioner] = None, *,
                  phi: int = 1,
-                 placement: BackupPlacement = BackupPlacement.PAPER,
+                 placement: PlacementLike = BackupPlacement.PAPER,
+                 rack_size: Optional[int] = None,
                  failure_injector: Optional[FailureInjector] = None,
                  local_solver_method: str = "pcg_ilu",
                  local_rtol: float = 1e-14,
@@ -206,5 +217,5 @@ class ResilientPCG(EsrResilienceMixin, DistributedPCG):
         self._init_resilience(
             phi=phi, placement=placement, failure_injector=failure_injector,
             local_solver_method=local_solver_method, local_rtol=local_rtol,
-            reconstruction_form=reconstruction_form,
+            reconstruction_form=reconstruction_form, rack_size=rack_size,
         )

@@ -36,11 +36,13 @@ import numpy as np
 
 from ..cluster.failure import FailureEvent
 from ..precond.base import Preconditioner, PreconditionerForm
+from .placement import normalize_placement, placement_name
 from .redundancy import BackupPlacement
 
 #: Spec fields routed to :class:`ResilienceSpec` by ``SolveSpec.with_overrides``.
-_RESILIENCE_FIELDS = ("phi", "placement", "failures", "local_solver_method",
-                      "local_rtol", "reconstruction_form")
+_RESILIENCE_FIELDS = ("phi", "placement", "rack_size", "failures",
+                      "local_solver_method", "local_rtol",
+                      "reconstruction_form")
 #: Spec fields routed to :class:`BlockSpec` by ``SolveSpec.with_overrides``.
 _BLOCK_FIELDS = ("n_cols", "fuse_reductions")
 
@@ -99,8 +101,16 @@ class ResilienceSpec:
     #: Redundant copies kept per search-direction block (max. simultaneous
     #: failures survived); ``0 <= phi < N``.
     phi: int = 1
-    #: Backup-node placement strategy (Eqn. (5) of the paper by default).
-    placement: BackupPlacement = BackupPlacement.PAPER
+    #: Backup-node placement strategy (Eqn. (5) of the paper by default):
+    #: a :class:`BackupPlacement` member or any name registered in
+    #: :data:`repro.core.placement.PLACEMENTS` (e.g. ``"copyset"``,
+    #: ``"rack_aware"``).  The three historical names normalise to their
+    #: enum member, registry-only names to their lower-case string.
+    placement: Union[BackupPlacement, str] = BackupPlacement.PAPER
+    #: Rack (failure-domain) size used by the rack-aware placement
+    #: strategies; ``None`` = the default layout of
+    #: :meth:`repro.core.placement.RackLayout.default`.
+    rack_size: Optional[int] = None
     #: Failure schedule: :class:`FailureEvent` objects or ``(iteration,
     #: ranks)`` tuples (normalised on construction).  Empty = undisturbed.
     failures: Tuple[FailureEvent, ...] = ()
@@ -117,8 +127,16 @@ class ResilienceSpec:
             raise ValueError(f"phi must be non-negative, got {self.phi}")
         object.__setattr__(self, "phi", int(self.phi))
         if not isinstance(self.placement, BackupPlacement):
+            # Registered-name validation + canonical spelling (enum member
+            # for the three historical strategies, lower-case name string
+            # for registry-only strategies like "copyset" / "rack_aware").
             object.__setattr__(self, "placement",
-                               BackupPlacement(self.placement))
+                               normalize_placement(self.placement))
+        if self.rack_size is not None:
+            if int(self.rack_size) < 1:
+                raise ValueError(
+                    f"rack_size must be positive, got {self.rack_size}")
+            object.__setattr__(self, "rack_size", int(self.rack_size))
         object.__setattr__(self, "failures",
                            tuple(build_failure_events(self.failures)))
         if self.reconstruction_form is not None and \
@@ -133,7 +151,8 @@ class ResilienceSpec:
         """Plain JSON-serializable dictionary (see :meth:`from_dict`)."""
         return {
             "phi": self.phi,
-            "placement": self.placement.value,
+            "placement": placement_name(self.placement),
+            "rack_size": self.rack_size,
             "failures": [_event_to_dict(e) for e in self.failures],
             "local_solver_method": self.local_solver_method,
             "local_rtol": self.local_rtol,

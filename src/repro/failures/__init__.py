@@ -1,4 +1,4 @@
-"""Failure scenarios and schedules for the resilience experiments."""
+"""Failure scenarios, stochastic traces and schedules for the resilience experiments."""
 
 from .scenarios import (
     PAPER_FAILURE_COUNTS,
@@ -9,6 +9,13 @@ from .scenarios import (
     paper_scenarios,
     resolve_events,
 )
+from .traces import (
+    FailureTrace,
+    LifetimeModel,
+    TraceEvent,
+    TraceSpec,
+    generate_trace,
+)
 
 __all__ = [
     "FailureScenario",
@@ -18,4 +25,9 @@ __all__ = [
     "paper_scenarios",
     "PAPER_FAILURE_COUNTS",
     "PAPER_PROGRESS_FRACTIONS",
+    "FailureTrace",
+    "LifetimeModel",
+    "TraceEvent",
+    "TraceSpec",
+    "generate_trace",
 ]

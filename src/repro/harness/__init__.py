@@ -1,5 +1,13 @@
 """Experiment harness: configuration, execution, aggregation, tables, figures."""
 
+from .campaign import (
+    OUTCOME_KINDS,
+    CampaignResult,
+    CampaignSpec,
+    RunOutcome,
+    run_campaign,
+    run_single,
+)
 from .experiment import (
     ExperimentConfig,
     ExperimentResult,
@@ -23,6 +31,12 @@ from .tables import (
 )
 
 __all__ = [
+    "OUTCOME_KINDS",
+    "CampaignSpec",
+    "CampaignResult",
+    "RunOutcome",
+    "run_campaign",
+    "run_single",
     "ExperimentConfig",
     "ExperimentResult",
     "RepetitionResult",

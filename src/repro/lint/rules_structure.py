@@ -16,10 +16,12 @@ from .engine import Project, Rule, SourceFile, Violation, dotted_name
 
 
 class RegisteredNameCoverageRule(Rule):
-    """R003: every registered solver/preconditioner name is test-covered.
+    """R003: every registered solver/preconditioner/placement name is
+    test-covered.
 
     Walks the scanned tree for ``@register_solver("name")`` /
-    ``@register_preconditioner("name", ...)`` registrations and requires
+    ``@register_preconditioner("name", ...)`` /
+    ``@register_placement("name", ...)`` registrations and requires
     each registered name to appear as a string literal somewhere in the
     test suite -- which, given the spec round-trip tests parametrise over
     the registered names, means a name that never shows up in ``tests/``
@@ -30,7 +32,8 @@ class RegisteredNameCoverageRule(Rule):
     id = "R003"
     title = "registered names must be test-covered"
 
-    _DECORATORS = frozenset({"register_solver", "register_preconditioner"})
+    _DECORATORS = frozenset({"register_solver", "register_preconditioner",
+                             "register_placement"})
 
     def check_project(self, project: Project) -> Iterator[Violation]:
         registrations = self._registrations(project)

@@ -50,6 +50,23 @@ class TestFailureInjector:
         assert cluster.node(2).is_failed and cluster.node(4).is_failed
         assert cluster.node(0).is_alive
 
+    def test_trigger_skips_already_failed_ranks(self, cluster):
+        # Stochastic schedules can name a rank twice before a recovery
+        # replaced it; the second strike must be a deterministic no-op for
+        # that rank (one failure episode, one memory wipe), not a crash or
+        # a double-kill.
+        injector = FailureInjector([
+            FailureEvent(0, (2, 4)), FailureEvent(1, (4, 5)),
+        ])
+        injector.trigger(0, cluster.nodes)
+        assert cluster.node(4).failure_count == 1
+        event = injector.trigger(1, cluster.nodes)
+        assert event.ranks == (4, 5)
+        assert cluster.node(4).is_failed and cluster.node(5).is_failed
+        assert cluster.node(4).failure_count == 1
+        assert cluster.node(5).failure_count == 1
+        assert injector.all_triggered()
+
     def test_trigger_twice_rejected(self, cluster):
         injector = FailureInjector([FailureEvent(0, (1,))])
         injector.trigger(0, cluster.nodes)

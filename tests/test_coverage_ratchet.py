@@ -129,3 +129,7 @@ class TestCommittedRatchetFile:
         required = data["required_modules"]
         assert "repro/lint" in required
         assert "repro/sanitizer.py" in required
+        # The reliability-campaign layer stays under per-module floors too.
+        assert "repro/core/placement.py" in required
+        assert "repro/failures/traces.py" in required
+        assert "repro/harness/campaign.py" in required

@@ -54,6 +54,27 @@ class TestFailureScenario:
         assert len(set(ranks)) == 4
         assert all(0 <= r < 16 for r in ranks)
 
+    def test_random_location_default_rng_is_seeded(self):
+        scenario = FailureScenario(n_failures=3, location=FailureLocation.RANDOM)
+        assert scenario.failed_ranks(16) == scenario.failed_ranks(16)
+
+    def test_random_location_round_trips_through_resolve_events(self):
+        scenario = FailureScenario(n_failures=3, progress_fraction=0.5,
+                                   location=FailureLocation.RANDOM)
+        events_a = resolve_events(scenario, n_nodes=16,
+                                  reference_iterations=40,
+                                  rng=np.random.default_rng(7))
+        events_b = resolve_events(scenario, n_nodes=16,
+                                  reference_iterations=40,
+                                  rng=np.random.default_rng(7))
+        assert events_a == events_b
+        (event,) = events_a
+        assert event.iteration == 20
+        assert len(set(event.ranks)) == 3
+        assert all(0 <= r < 16 for r in event.ranks)
+        assert resolve_events(scenario, n_nodes=16, reference_iterations=40,
+                              rng=np.random.default_rng(8)) != events_a
+
     def test_too_many_failures_rejected(self):
         scenario = FailureScenario(n_failures=8)
         with pytest.raises(ValueError):

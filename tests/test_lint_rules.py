@@ -135,6 +135,32 @@ class TestR003RegisteredNames:
                      rel="test_something.py")
         assert lint_tree(tmp_path, tests_dir=tests_dir) == []
 
+    PLACEMENT_REGISTRATION = """\
+        from repro.core.placement import register_placement
+
+        @register_placement("ghost_placement", "test-only strategy")
+        def targets(owner, phi, n_nodes, *, racks=None, rng=None):
+            return []
+    """
+
+    def test_uncovered_placement_name_fires(self, tmp_path):
+        write_module(tmp_path, self.PLACEMENT_REGISTRATION)
+        tests_dir = tmp_path / "tests"
+        write_module(tests_dir, "def test_nothing():\n    assert True\n",
+                     rel="test_something.py")
+        violations = lint_tree(tmp_path, tests_dir=tests_dir)
+        assert fired_ids(violations) == ["R003"]
+        assert "ghost_placement" in violations[0].message
+
+    def test_covered_placement_name_is_clean(self, tmp_path):
+        write_module(tmp_path, self.PLACEMENT_REGISTRATION)
+        tests_dir = tmp_path / "tests"
+        write_module(tests_dir,
+                     'NAMES = ["ghost_placement"]\n'
+                     "def test_names():\n    assert NAMES\n",
+                     rel="test_something.py")
+        assert lint_tree(tmp_path, tests_dir=tests_dir) == []
+
     def test_missing_tests_dir_is_a_finding(self, tmp_path):
         src = SourceFile.parse(
             write_module(tmp_path, self.REGISTRATION), "mod.py")
