@@ -108,7 +108,7 @@ class CheckpointRestartPCG(FailureHandlingMixin, DistributedPCG):
             values = np.asarray(state[name])
             for rank in range(self.partition.n_parts):
                 start, stop = self.partition.range_of(rank)
-                vec.set_block(rank, values[start:stop].copy())
+                vec.restore_block(rank, values[start:stop])
         self.iteration = int(state["iteration"])
         self.rz = float(state["rz"])
         self.beta_prev = float(state["beta_prev"])
@@ -116,17 +116,19 @@ class CheckpointRestartPCG(FailureHandlingMixin, DistributedPCG):
 
     # -- hooks -----------------------------------------------------------------------
     def _on_setup(self) -> None:
+        super()._on_setup()
         if self.config.checkpoint_initial_state:
             self._take_checkpoint()
 
     def _after_iteration(self, iteration: int) -> None:
+        super()._after_iteration(iteration)
         if iteration % self.config.interval == 0:
             self._take_checkpoint()
 
     def _handle_failures(self, iteration: int) -> bool:
         failed = self._trigger_due_failures(iteration)
         if not failed:
-            return False
+            return super()._handle_failures(iteration)
         self._install_replacements(failed)
         self._restore_checkpoint()
         logger.info("rolled back to iteration %d after failure of %s",

@@ -111,7 +111,7 @@ class InterpolationRecoveryPCG(FailureHandlingMixin, DistributedPCG):
     def _handle_failures(self, iteration: int) -> bool:
         failed = self._trigger_due_failures(iteration)
         if not failed:
-            return False
+            return super()._handle_failures(iteration)
         self._install_replacements(failed)
         self._interpolate_and_restart(failed)
         self.recoveries += 1
@@ -161,7 +161,7 @@ class InterpolationRecoveryPCG(FailureHandlingMixin, DistributedPCG):
         x_global[failed_indices] = x_failed
         for rank in range(partition.n_parts):
             start, stop = partition.range_of(rank)
-            self.x.set_block(rank, x_global[start:stop].copy())
+            self.x.restore_block(rank, x_global[start:stop])
         self._restart_krylov()
 
     def _restart_krylov(self) -> None:

@@ -79,7 +79,7 @@ class FailureHandlingMixin:
             block = self.cluster.storage.retrieve(
                 (self._rhs_storage_name(), rank), charge=True
             )
-            self.rhs.set_block(rank, np.array(block, copy=True))
+            self.rhs.restore_block(rank, block)
         self._reinitialize_lost_blocks(failed_ranks)
 
     def _reinitialize_lost_blocks(self, failed_ranks: List[int]) -> None:
@@ -94,4 +94,4 @@ class FailureHandlingMixin:
             size = self.partition.size_of(rank)
             for vec in (self.x, self.r, self.z, self.p, self.ap):
                 if vec is not None and not vec.has_block(rank):
-                    vec.set_block(rank, np.zeros(size))
+                    vec.restore_block(rank, np.zeros(size))

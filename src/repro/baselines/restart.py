@@ -44,7 +44,7 @@ class FullRestartPCG(FailureHandlingMixin, DistributedPCG):
     def _handle_failures(self, iteration: int) -> bool:
         failed = self._trigger_due_failures(iteration)
         if not failed:
-            return False
+            return super()._handle_failures(iteration)
         self._install_replacements(failed)
         self._restart_from_scratch()
         logger.info("restarting from scratch after failure of %s "

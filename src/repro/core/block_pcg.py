@@ -347,7 +347,8 @@ class BlockPCG:
 
         while np.any(self.active) and global_iterations < self.max_iterations:
             if _sanitizer._ACTIVE is not None:
-                _sanitizer._ACTIVE.note_iteration(global_iterations)
+                _sanitizer._ACTIVE.note_iteration(global_iterations,
+                                                  solver=self)
             # --- Alg. 1 line 3 first half: the batched SpMV (and, in the
             #     resilient variant, the block ESR redundancy exchange)
             self._spmv_p()

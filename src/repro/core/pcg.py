@@ -217,7 +217,7 @@ class DistributedPCG:
         while not converged and self.iteration < self.max_iterations:
             j = self.iteration
             if _sanitizer._ACTIVE is not None:
-                _sanitizer._ACTIVE.note_iteration(j)
+                _sanitizer._ACTIVE.note_iteration(j, solver=self)
             # --- line 3 first half: the SpMV (and the ESR redundancy exchange)
             self._spmv_p()
             self._after_spmv(j)

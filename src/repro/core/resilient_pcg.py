@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from .. import sanitizer as _sanitizer
 from ..cluster.errors import UnrecoverableStateError
 from ..cluster.failure import FailureInjector
 from ..distributed.comm_context import CommunicationContext
@@ -100,16 +101,21 @@ class EsrResilienceMixin:
     # -- hooks ------------------------------------------------------------------
     def _after_spmv(self, iteration: int) -> None:
         """Keep the redundant copies and replicate the recurrence scalar(s)."""
+        super()._after_spmv(iteration)
+        if _sanitizer._ACTIVE is not None:
+            _sanitizer._ACTIVE.on_resilience_hook(self, "after_spmv")
         self.esr.after_spmv(self.p, iteration)
         self.esr.store_replicated_scalars(iteration, beta=self.beta_prev)
 
     def _handle_failures(self, iteration: int) -> bool:
         """Trigger due failure events and run the ESR reconstruction."""
+        if _sanitizer._ACTIVE is not None:
+            _sanitizer._ACTIVE.on_resilience_hook(self, "handle_failures")
         if self.failure_injector is None:
-            return False
+            return super()._handle_failures(iteration)
         due = self.failure_injector.events_due(iteration, overlapping=False)
         if not due:
-            return False
+            return super()._handle_failures(iteration)
         failed_ranks: List[int] = []
         for idx, event in due:
             self.failure_injector.trigger(idx, self.cluster.nodes)

@@ -52,4 +52,24 @@ ALLOWLISTS: Dict[str, Tuple[str, ...]] = {
         "core/spec.py",
         "cluster/failure.py",
     ),
+    # R007 -- flow violations are anchored at the taint *origin*, so these
+    # are the modules sanctioned to *produce* nondeterminism (the same
+    # modules R001/R002 pin):
+    #   - utils/rng.py owns the documented unseeded escape hatch;
+    #   - harness/experiment.py measures host wallclock by design (its
+    #     values feed host-timing reports, never simulated charges);
+    #   - core/reconstruction.py times the driver-side recovery solve and
+    #     stores the measurement in RecoveryReport's wallclock field.
+    "R007": (
+        "utils/rng.py",
+        "harness/experiment.py",
+        "core/reconstruction.py",
+    ),
+    # R008 -- no exemptions: every comm path charges the ledger.
+    "R008": (),
+    # R009 -- no exemptions: collectives span the (alive) rank set.
+    "R009": (),
+    # R010 -- no exemptions: hook overrides chain to super(), recovery
+    # writes go through restore_block.
+    "R010": (),
 }

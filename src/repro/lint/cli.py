@@ -2,21 +2,23 @@
 
 Exit codes: ``0`` clean, ``1`` violations found, ``2`` usage/run error
 (unknown rule, unparseable file, bad path).  CI runs this as a blocking
-job; see ``CONTRIBUTING.md`` for the rule catalogue and how to extend the
-pinned allowlists.
+job and uploads the ``--format json`` report as a build artifact; see
+``CONTRIBUTING.md`` for the rule catalogue and how to extend the pinned
+allowlists.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import textwrap
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from .allowlists import ALLOWLISTS
-from .engine import LintError, run_lint
-from .registry import ALL_RULES, rule_ids
+from .engine import LintError, Violation, run_lint
+from .registry import ALL_RULES, get_rule, rule_ids
 
 
 def _default_paths() -> List[Path]:
@@ -27,18 +29,46 @@ def _default_paths() -> List[Path]:
     return [Path(__file__).resolve().parent.parent]
 
 
+def _describe_rule(rule_id: str) -> str:
+    rule = get_rule(rule_id)
+    doc = textwrap.dedent(rule.__class__.__doc__ or "").strip()
+    allow = ALLOWLISTS.get(rule.id, ())
+    allow_text = ", ".join(allow) if allow else "(none)"
+    return (
+        f"{rule.id}: {rule.title}\n"
+        + textwrap.indent(doc, "    ")
+        + f"\n    allowlist: {allow_text}"
+    )
+
+
 def _list_rules() -> str:
-    blocks = []
-    for rule in ALL_RULES:
-        doc = textwrap.dedent(rule.__class__.__doc__ or "").strip()
-        allow = ALLOWLISTS.get(rule.id, ())
-        allow_text = ", ".join(allow) if allow else "(none)"
-        blocks.append(
-            f"{rule.id}: {rule.title}\n"
-            + textwrap.indent(doc, "    ")
-            + f"\n    allowlist: {allow_text}"
-        )
-    return "\n\n".join(blocks)
+    return "\n\n".join(_describe_rule(rule.id) for rule in ALL_RULES)
+
+
+def _json_report(violations: Sequence[Violation],
+                 paths: Sequence[Path]) -> str:
+    """Stable, sorted JSON for CI artifacts.
+
+    The violation list inherits the engine's ``(path, line, col, rule_id)``
+    ordering and every key is emitted sorted, so two runs over the same
+    tree produce byte-identical reports.
+    """
+    payload = {
+        "paths": sorted(str(p) for p in paths),
+        "rules": list(rule_ids()),
+        "violation_count": len(violations),
+        "violations": [
+            {
+                "rule_id": v.rule_id,
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "message": v.message,
+            }
+            for v in violations
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -58,12 +88,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--select", default=None, metavar="IDS",
         help="comma-separated rule IDs to run (default: all)")
     parser.add_argument(
+        "--format", dest="fmt", choices=("text", "json"), default="text",
+        help="output format: human-readable text (default) or a stable, "
+             "sorted JSON report for CI artifacts")
+    parser.add_argument(
+        "--explain", default=None, metavar="RULE",
+        help="print one rule's documentation + allowlist policy and exit")
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue (IDs, docs, allowlists) and exit")
     args = parser.parse_args(argv)
 
     if args.list_rules:
         print(_list_rules())
+        return 0
+    if args.explain is not None:
+        try:
+            print(_describe_rule(args.explain))
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
         return 0
 
     paths = args.paths if args.paths else _default_paths()
@@ -76,6 +120,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     except LintError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    if args.fmt == "json":
+        print(_json_report(violations, paths))
+        return 1 if violations else 0
 
     for violation in violations:
         print(violation.format())

@@ -64,7 +64,7 @@ class Project:
     """All scanned files plus the location of the test suite (for R003)."""
 
     def __init__(self, files: Sequence[SourceFile],
-                 tests_dir: Optional[Path] = None):
+                 tests_dir: Optional[Path] = None) -> None:
         self.files = list(files)
         self.tests_dir = tests_dir
         self._test_literals: Optional[Set[str]] = None
@@ -114,7 +114,9 @@ class Rule:
         return iter(())
 
     # -- helpers shared by the concrete rules ------------------------------
-    def violation(self, src_or_path, node_or_line, message: str) -> Violation:
+    def violation(self, src_or_path: "SourceFile | str",
+                  node_or_line: "ast.AST | int",
+                  message: str) -> Violation:
         """Build a :class:`Violation` from a file + AST node (or line no)."""
         if isinstance(src_or_path, SourceFile):
             path = src_or_path.rel_path

@@ -16,6 +16,12 @@ from .rules_determinism import (
     UnseededRngRule,
     WallclockRule,
 )
+from .rules_flow import (
+    ChargeCoverageRule,
+    CollectiveConsistencyRule,
+    HookContractRule,
+    NondeterminismFlowRule,
+)
 from .rules_structure import (
     FrozenSpecRule,
     NodeMemoryAccessRule,
@@ -30,6 +36,10 @@ ALL_RULES: Tuple[Rule, ...] = (
     NodeMemoryAccessRule(),
     UnorderedIterationRule(),
     FrozenSpecRule(),
+    NondeterminismFlowRule(),
+    ChargeCoverageRule(),
+    CollectiveConsistencyRule(),
+    HookContractRule(),
 )
 
 

@@ -31,6 +31,16 @@ active, four detectors watch every simulated operation:
     an operation executed for free -- the exact bug class that invalidates
     every overhead number the harness reports.
 
+One additional detector is opt-in (not armed by a plain
+``REPRO_SANITIZE=1``, select it explicitly):
+
+``hook_super``
+    The dynamic cross-check of lint rule R010: a resilient solver
+    iteration completing without the ESR mixin's ``_after_spmv`` hook
+    having fired means an override somewhere in the MRO dropped the
+    cooperative ``super()`` chain -- redundant copies silently stop being
+    kept and the next failure is unrecoverable.
+
 Violations raise :class:`SanitizerError` with structured rank / key /
 iteration / phase context.
 
@@ -53,12 +63,21 @@ from weakref import WeakKeyDictionary, WeakSet
 
 import numpy as np
 
-#: Every detector SimSan knows, all enabled by default.
+#: Every default detector, all enabled by a plain ``REPRO_SANITIZE=1``.
 DETECTORS: Tuple[str, ...] = (
     "use_after_failure",
     "unmatched_send",
     "allreduce_uniformity",
     "uncharged_op",
+)
+
+#: Opt-in detectors: valid in explicit selections
+#: (``REPRO_SANITIZE=hook_super`` or ``enable(DETECTORS + ("hook_super",))``)
+#: but never armed by default -- ``hook_super`` intentionally trips on
+#: solvers that are *built* to skip the resilience hooks (the baselines),
+#: so it only makes sense on runs known to use the ESR solvers.
+OPT_IN_DETECTORS: Tuple[str, ...] = (
+    "hook_super",
 )
 
 #: The active sanitizer (``None`` = instrumentation inert).  Hook sites read
@@ -112,11 +131,11 @@ class SimSan:
 
     def __init__(self, detectors: Optional[Iterable[str]] = None):
         chosen = tuple(detectors) if detectors is not None else DETECTORS
-        unknown = sorted(set(chosen) - set(DETECTORS))
+        unknown = sorted(set(chosen) - set(DETECTORS) - set(OPT_IN_DETECTORS))
         if unknown:
             raise ValueError(
                 f"unknown sanitizer detector(s) {unknown}; "
-                f"available: {DETECTORS}")
+                f"available: {DETECTORS + OPT_IN_DETECTORS}")
         self.detectors: FrozenSet[str] = frozenset(chosen)
         #: ``NodeMemory -> {key, ...}`` of data lost in that node's failure
         #: and not rewritten since.
@@ -130,8 +149,12 @@ class SimSan:
             "collectives": 0,
             "op_windows": 0,
             "blocks_restored": 0,
+            "resilience_hooks": 0,
         }
         self.context: Dict[str, Any] = {"iteration": None, "phase": None}
+        #: ``solver -> {hook name, ...}`` fired since that solver's last
+        #: ``note_iteration`` (weak: watching never keeps a solver alive).
+        self._hook_watch: "WeakKeyDictionary[Any, set]" = WeakKeyDictionary()
 
     def enabled(self, detector: str) -> bool:
         return detector in self.detectors
@@ -226,8 +249,33 @@ class SimSan:
         self.context["phase"] = phase
 
     # -- solver hooks (called from the PCG drivers) ------------------------
-    def note_iteration(self, iteration: int) -> None:
+    def note_iteration(self, iteration: int, solver: Any = None) -> None:
+        """Record the solver iteration; with ``hook_super`` armed and a
+        *solver* passed, also verify the previous iteration ran the ESR
+        resilience hooks (only solvers carrying ESR state -- an ``esr``
+        attribute -- are subject)."""
         self.context["iteration"] = iteration
+        if solver is None or not self.enabled("hook_super"):
+            return
+        fired = self._hook_watch.get(solver)
+        if fired is not None and hasattr(solver, "esr") and \
+                "after_spmv" not in fired:
+            raise self._error(
+                "hook_super",
+                f"{type(solver).__name__} completed an iteration without "
+                "the ESR after_spmv hook firing; an override in the MRO "
+                "dropped the cooperative super() chain (lint rule R010), "
+                "so redundant copies are no longer being kept",
+                iteration=iteration)
+        self._hook_watch[solver] = set()
+
+    def on_resilience_hook(self, solver: Any, name: str) -> None:
+        """A resilience-mixin hook ran for *solver* (records protocol
+        liveness for the ``hook_super`` detector)."""
+        self.stats["resilience_hooks"] += 1
+        fired = self._hook_watch.get(solver)
+        if fired is not None:
+            fired.add(name)
 
     # -- shutdown checks ---------------------------------------------------
     def final_checks(self) -> None:

@@ -154,3 +154,57 @@ class TestFullRestart:
         reference = reference_solve(fresh(matrix), preconditioner="block_jacobi")
         result = build(FullRestartPCG, problem).solve()
         assert result.iterations == reference.iterations
+
+
+class TestHookChaining:
+    """Baseline hook overrides must chain to the base protocol (R010).
+
+    The solver hooks are cooperative: an override that drops
+    ``super().<hook>()`` silently disconnects every other participant in
+    the MRO.  Regression for the overrides fixed when rule R010 landed.
+    """
+
+    CASES = [
+        (CheckpointRestartPCG, {"config": CheckpointConfig(interval=10)}),
+        (InterpolationRecoveryPCG, {}),
+        (FullRestartPCG, {}),
+    ]
+
+    @pytest.mark.parametrize("cls,kwargs", CASES)
+    def test_base_hooks_fire_through_super(self, matrix, monkeypatch,
+                                           cls, kwargs):
+        from repro.core.pcg import DistributedPCG
+        fired = set()
+        originals = {
+            "_on_setup": DistributedPCG._on_setup,
+            "_handle_failures": DistributedPCG._handle_failures,
+            "_after_iteration": DistributedPCG._after_iteration,
+        }
+
+        def record(name):
+            def hook(self, *args, **kw):
+                fired.add(name)
+                return originals[name](self, *args, **kw)
+            return hook
+
+        for name in originals:
+            monkeypatch.setattr(DistributedPCG, name, record(name))
+
+        problem = fresh(matrix)
+        result = build(cls, problem, failures=[(12, [2])], **kwargs).solve()
+        assert result.converged
+        # Every base hook ran, i.e. no override swallowed the chain.
+        assert fired == set(originals)
+
+    @pytest.mark.parametrize("cls,kwargs", CASES)
+    def test_recovery_restores_through_blockstore(self, matrix, cls, kwargs):
+        from repro import sanitizer
+
+        problem = fresh(matrix)
+        solver = build(cls, problem, failures=[(12, [2])], **kwargs)
+        with sanitizer.sanitized() as san:
+            result = solver.solve()
+        assert result.converged
+        # Recovery writes go through restore_block, which notifies the
+        # runtime sanitizer (raw set_block would leave this stat at 0).
+        assert san.stats["blocks_restored"] > 0

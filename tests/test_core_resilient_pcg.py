@@ -178,3 +178,63 @@ class TestValidation:
         precond.setup(problem.matrix.to_global(), problem.partition)
         with pytest.raises(ValueError):
             ResilientPCG(problem.matrix, problem.rhs, precond, phi=5)
+
+
+class TestCooperativeHookChain:
+    """The ESR mixin must pass every hook on to the next class in the MRO.
+
+    ``ResilientPCG`` is ``EsrResilienceMixin`` stacked on the plain solver;
+    a custom subclass may add its own hook participants *below* the mixin.
+    If the mixin's overrides dropped ``super().<hook>()`` (lint rule R010),
+    those participants would silently never run.
+    """
+
+    def _probe_solver(self, matrix):
+        from repro.core.pcg import DistributedPCG
+        from repro.core.resilient_pcg import EsrResilienceMixin
+
+        fired = set()
+
+        class ProbePCG(DistributedPCG):
+            def _on_setup(self):
+                fired.add("_on_setup")
+                super()._on_setup()
+
+            def _after_spmv(self, iteration):
+                fired.add("_after_spmv")
+                super()._after_spmv(iteration)
+
+            def _handle_failures(self, iteration):
+                fired.add("_handle_failures")
+                return super()._handle_failures(iteration)
+
+            def _after_iteration(self, iteration):
+                fired.add("_after_iteration")
+                super()._after_iteration(iteration)
+
+        class ProbeResilient(EsrResilienceMixin, ProbePCG):
+            vector_prefix = "probe_resilient"
+
+            def __init__(self, matrix, rhs, preconditioner, **kwargs):
+                super().__init__(matrix, rhs, preconditioner, **kwargs)
+                self._init_resilience(
+                    phi=1, placement=BackupPlacement.PAPER,
+                    failure_injector=None,
+                    local_solver_method="pcg_ilu", local_rtol=1e-14,
+                    reconstruction_form=None)
+
+        problem = fresh_problem(matrix)
+        precond = make_preconditioner("block_jacobi")
+        precond.setup(problem.matrix.to_global(), problem.partition)
+        solver = ProbeResilient(problem.matrix, problem.rhs, precond,
+                                context=problem.context)
+        return solver, fired
+
+    def test_mixin_hooks_chain_past_the_mixin(self, matrix):
+        solver, fired = self._probe_solver(matrix)
+        result = solver.solve()
+        assert result.converged
+        # Every probe hook below the ESR mixin in the MRO observed the
+        # protocol: the mixin chained each override through super().
+        assert fired == {"_on_setup", "_after_spmv", "_handle_failures",
+                         "_after_iteration"}

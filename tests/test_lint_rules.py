@@ -39,7 +39,8 @@ def fired_ids(violations):
 class TestRegistry:
     def test_rule_ids_complete_and_ordered(self):
         assert list(rule_ids()) == \
-            ["R001", "R002", "R003", "R004", "R005", "R006"]
+            ["R001", "R002", "R003", "R004", "R005",
+             "R006", "R007", "R008", "R009", "R010"]
 
     def test_get_rule_round_trips(self):
         for rule_id in rule_ids():
@@ -260,6 +261,392 @@ class TestR006FrozenSpecs:
         assert lint_tree(tmp_path, tests_dir=tmp_path) == []
 
 
+class TestR007NondeterminismFlow:
+    """Interprocedural taint: nondeterminism must not reach a sink."""
+
+    LAUNDERED_WALLCLOCK = """\
+        import time
+
+        def measure():
+            return time.perf_counter()
+
+        def run(ledger):
+            ledger.add_time(measure())
+    """
+
+    def test_interprocedural_flow_fires_with_trace(self, tmp_path):
+        write_module(tmp_path, self.LAUNDERED_WALLCLOCK)
+        violations = lint_tree(tmp_path, tests_dir=tmp_path,
+                               select=["R007"])
+        assert fired_ids(violations) == ["R007"]
+        (violation,) = violations
+        # Anchored at the *source* (the perf_counter read), not the sink.
+        assert violation.path == "mod.py"
+        assert violation.line == 4
+        assert "wallclock" in violation.message
+        assert "CostLedger charge" in violation.message
+        # The message carries the full hop trace across both functions.
+        assert "mod.py:4 -> mod.py:7" in violation.message
+
+    def test_unseeded_rng_receiver_into_payload_fires(self, tmp_path):
+        write_module(tmp_path, """\
+            import numpy as np
+
+            def ship(comm):
+                rng = np.random.default_rng()
+                comm.send(0, 1, rng.normal(size=3))
+        """)
+        violations = lint_tree(tmp_path, tests_dir=tmp_path,
+                               select=["R007"])
+        assert fired_ids(violations) == ["R007"]
+        assert "unseeded RNG" in violations[0].message
+        assert "Communicator payload" in violations[0].message
+
+    def test_seeded_rng_is_clean(self, tmp_path):
+        write_module(tmp_path, """\
+            import numpy as np
+
+            def ship(comm):
+                rng = np.random.default_rng(42)
+                comm.send(0, 1, rng.normal(size=3))
+        """)
+        assert lint_tree(tmp_path, tests_dir=tmp_path,
+                         select=["R007"]) == []
+
+    def test_sorted_set_iteration_is_clean(self, tmp_path):
+        write_module(tmp_path, """\
+            def total(ledger, ranks):
+                acc = 0.0
+                for r in sorted({1, 2, 3}):
+                    acc += r
+                ledger.add_time(acc)
+        """)
+        assert lint_tree(tmp_path, tests_dir=tmp_path,
+                         select=["R007"]) == []
+
+    def test_noqa_on_the_source_line_suppresses(self, tmp_path):
+        write_module(tmp_path, """\
+            import time
+
+            def measure():
+                return time.perf_counter()  # noqa: R007
+
+            def run(ledger):
+                ledger.add_time(measure())
+        """)
+        assert lint_tree(tmp_path, tests_dir=tmp_path,
+                         select=["R007"]) == []
+
+    def test_allowlisted_source_module_is_exempt(self, tmp_path):
+        # R007 anchors at the taint origin, so the allowlisted modules are
+        # the ones sanctioned to *produce* nondeterminism.
+        write_module(tmp_path, self.LAUNDERED_WALLCLOCK,
+                     rel="harness/experiment.py")
+        assert lint_tree(tmp_path, tests_dir=tmp_path,
+                         select=["R007"]) == []
+
+
+class TestR008ChargeCoverage:
+    def test_mailbox_access_outside_cluster_fires(self, tmp_path):
+        write_module(tmp_path,
+                     "def peek(comm):\n    return comm._mailboxes\n")
+        violations = lint_tree(tmp_path, tests_dir=tmp_path,
+                               select=["R008"])
+        assert fired_ids(violations) == ["R008"]
+        assert "_mailboxes" in violations[0].message
+
+    def test_mailbox_access_inside_cluster_is_clean(self, tmp_path):
+        write_module(tmp_path,
+                     "def peek(comm):\n    return comm._mailboxes\n",
+                     rel="cluster/communicator.py")
+        assert lint_tree(tmp_path, tests_dir=tmp_path,
+                         select=["R008"]) == []
+
+    UNCHARGED_PRIMITIVE = """\
+        class Communicator:
+            def send(self, src, dst, payload):
+                self._deliver(payload)
+
+            def _deliver(self, payload):
+                self.box = payload
+    """
+
+    def test_primitive_without_charging_site_fires(self, tmp_path):
+        write_module(tmp_path, self.UNCHARGED_PRIMITIVE,
+                     rel="cluster/communicator.py")
+        violations = lint_tree(tmp_path, tests_dir=tmp_path,
+                               select=["R008"])
+        assert fired_ids(violations) == ["R008"]
+        assert "Communicator.send" in violations[0].message
+        assert "charging site" in violations[0].message
+
+    def test_primitive_charging_through_helper_is_clean(self, tmp_path):
+        write_module(tmp_path, """\
+            class Communicator:
+                def send(self, src, dst, payload):
+                    self._deliver(payload)
+
+                def _deliver(self, payload):
+                    self.ledger.add_traffic(len(payload))
+        """, rel="cluster/communicator.py")
+        assert lint_tree(tmp_path, tests_dir=tmp_path,
+                         select=["R008"]) == []
+
+    UNCHARGED_CALL = """\
+        from repro.core.registry import register_solver
+
+        @register_solver("probe")
+        def build(problem, spec):
+            return push(problem)
+
+        def push(problem):
+            problem.comm.send(0, 1, [1.0], charge=False)
+    """
+
+    def test_uncharged_call_fires_with_entry_trace(self, tmp_path):
+        write_module(tmp_path, self.UNCHARGED_CALL)
+        violations = lint_tree(tmp_path, tests_dir=tmp_path,
+                               select=["R008"])
+        assert fired_ids(violations) == ["R008"]
+        (violation,) = violations
+        assert "charge=False" in violation.message
+        # The registered entry point that reaches the call is traced.
+        assert "reached via" in violation.message
+        assert " -> " in violation.message
+
+    def test_uncharged_call_with_explicit_charge_is_clean(self, tmp_path):
+        write_module(tmp_path, """\
+            def push(problem):
+                problem.comm.send(0, 1, [1.0], charge=False)
+                problem.ledger.add_time(0.5)
+        """)
+        assert lint_tree(tmp_path, tests_dir=tmp_path,
+                         select=["R008"]) == []
+
+    def test_allowlist_exempts_flagged_module(self, tmp_path, monkeypatch):
+        from repro.lint.allowlists import ALLOWLISTS
+        monkeypatch.setitem(ALLOWLISTS, "R008", ("legacy/*",))
+        write_module(tmp_path,
+                     "def peek(comm):\n    return comm._mailboxes\n",
+                     rel="legacy/mod.py")
+        assert lint_tree(tmp_path, tests_dir=tmp_path,
+                         select=["R008"]) == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        write_module(
+            tmp_path,
+            "def peek(comm):\n"
+            "    return comm._mailboxes  # noqa: R008\n")
+        assert lint_tree(tmp_path, tests_dir=tmp_path,
+                         select=["R008"]) == []
+
+
+class TestR009CollectiveConsistency:
+    def test_literal_rank_dict_fires(self, tmp_path):
+        write_module(tmp_path, """\
+            def agg(comm):
+                return comm.allreduce_sum({0: 1.0, 3: 2.0})
+        """)
+        violations = lint_tree(tmp_path, tests_dir=tmp_path,
+                               select=["R009"])
+        assert fired_ids(violations) == ["R009"]
+        assert "literal rank subset" in violations[0].message
+        assert "alive_ranks()" in violations[0].message
+
+    def test_literal_dict_via_local_name_fires(self, tmp_path):
+        write_module(tmp_path, """\
+            def agg(comm):
+                contribs = {0: 1.0, 1: 2.0}
+                return comm.gather(0, contribs)
+        """)
+        violations = lint_tree(tmp_path, tests_dir=tmp_path,
+                               select=["R009"])
+        assert fired_ids(violations) == ["R009"]
+
+    def test_loop_built_dict_is_clean(self, tmp_path):
+        write_module(tmp_path, """\
+            def agg(comm):
+                contribs = {0: 0.0}
+                for r in comm.alive_ranks():
+                    contribs[r] = 1.0
+                return comm.allreduce_sum(contribs)
+        """)
+        assert lint_tree(tmp_path, tests_dir=tmp_path,
+                         select=["R009"]) == []
+
+    def test_alive_ranks_comprehension_is_clean(self, tmp_path):
+        write_module(tmp_path, """\
+            def agg(comm):
+                return comm.allreduce_sum(
+                    {r: 1.0 for r in comm.alive_ranks()})
+        """)
+        assert lint_tree(tmp_path, tests_dir=tmp_path,
+                         select=["R009"]) == []
+
+    def test_unmatched_send_tag_fires(self, tmp_path):
+        write_module(tmp_path, """\
+            def a(comm):
+                comm.send(0, 1, [1.0], tag="halo")
+
+            def b(comm):
+                comm.recv(1, tag="other")
+        """)
+        violations = lint_tree(tmp_path, tests_dir=tmp_path,
+                               select=["R009"])
+        assert fired_ids(violations) == ["R009"]
+        assert "'halo'" in violations[0].message
+        assert "no matching recv" in violations[0].message
+
+    def test_matched_send_tag_is_clean(self, tmp_path):
+        write_module(tmp_path, """\
+            def a(comm):
+                comm.send(0, 1, [1.0], tag="halo")
+
+            def b(comm):
+                comm.recv(1, tag="halo")
+        """)
+        assert lint_tree(tmp_path, tests_dir=tmp_path,
+                         select=["R009"]) == []
+
+    def test_default_tags_match_both_sides(self, tmp_path):
+        write_module(tmp_path, """\
+            def a(comm):
+                comm.send(0, 1, [1.0])
+
+            def b(comm):
+                comm.recv(1)
+        """)
+        assert lint_tree(tmp_path, tests_dir=tmp_path,
+                         select=["R009"]) == []
+
+    def test_dynamic_recv_tag_mutes_the_check(self, tmp_path):
+        write_module(tmp_path, """\
+            def a(comm):
+                comm.send(0, 1, [1.0], tag="halo")
+
+            def b(comm, t):
+                comm.recv(1, tag=t)
+        """)
+        assert lint_tree(tmp_path, tests_dir=tmp_path,
+                         select=["R009"]) == []
+
+    def test_allowlist_exempts_flagged_module(self, tmp_path, monkeypatch):
+        from repro.lint.allowlists import ALLOWLISTS
+        monkeypatch.setitem(ALLOWLISTS, "R009", ("legacy/*",))
+        write_module(tmp_path,
+                     "def agg(comm):\n"
+                     "    return comm.allreduce_sum({0: 1.0})\n",
+                     rel="legacy/mod.py")
+        assert lint_tree(tmp_path, tests_dir=tmp_path,
+                         select=["R009"]) == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        write_module(
+            tmp_path,
+            "def agg(comm):\n"
+            "    return comm.allreduce_sum({0: 1.0})  # noqa: R009\n")
+        assert lint_tree(tmp_path, tests_dir=tmp_path,
+                         select=["R009"]) == []
+
+
+class TestR010HookContract:
+    BROKEN_OVERRIDE = """\
+        class DistributedPCG:
+            def _after_spmv(self, iteration):
+                pass
+
+        class EagerMixin(DistributedPCG):
+            def _after_spmv(self, iteration):
+                self.count = iteration
+    """
+
+    def test_override_without_super_fires(self, tmp_path):
+        write_module(tmp_path, self.BROKEN_OVERRIDE)
+        violations = lint_tree(tmp_path, tests_dir=tmp_path,
+                               select=["R010"])
+        assert fired_ids(violations) == ["R010"]
+        assert "EagerMixin._after_spmv" in violations[0].message
+        assert "super()._after_spmv()" in violations[0].message
+
+    def test_override_calling_super_is_clean(self, tmp_path):
+        write_module(tmp_path, """\
+            class DistributedPCG:
+                def _after_spmv(self, iteration):
+                    pass
+
+            class PoliteMixin(DistributedPCG):
+                def _after_spmv(self, iteration):
+                    super()._after_spmv(iteration)
+                    self.count = iteration
+        """)
+        assert lint_tree(tmp_path, tests_dir=tmp_path,
+                         select=["R010"]) == []
+
+    def test_trivial_protocol_declaration_is_exempt(self, tmp_path):
+        write_module(tmp_path, """\
+            class DistributedPCG:
+                def _on_setup(self):
+                    '''Extension point.'''
+
+                def _handle_failures(self, iteration):
+                    return False
+        """)
+        assert lint_tree(tmp_path, tests_dir=tmp_path,
+                         select=["R010"]) == []
+
+    RAW_RECOVERY_WRITE = """\
+        class Solver:
+            def _handle_failures(self, iteration):
+                super()._handle_failures(iteration)
+                self._restore()
+                return True
+
+            def _restore(self):
+                self.x.set_block(0, [0.0])
+    """
+
+    def test_raw_set_block_in_recovery_fires_with_trace(self, tmp_path):
+        write_module(tmp_path, self.RAW_RECOVERY_WRITE)
+        violations = lint_tree(tmp_path, tests_dir=tmp_path,
+                               select=["R010"])
+        assert fired_ids(violations) == ["R010"]
+        (violation,) = violations
+        # Anchored at the write site, reached through the handler.
+        assert violation.line == 8
+        assert "restore_block" in violation.message
+        # Handler definition -> self-call site -> write site.
+        assert "mod.py:2 -> mod.py:4 -> mod.py:8" in violation.message
+
+    def test_restore_block_in_recovery_is_clean(self, tmp_path):
+        write_module(tmp_path, """\
+            class Solver:
+                def _handle_failures(self, iteration):
+                    super()._handle_failures(iteration)
+                    self.x.restore_block(0, [0.0])
+                    return True
+        """)
+        assert lint_tree(tmp_path, tests_dir=tmp_path,
+                         select=["R010"]) == []
+
+    def test_allowlist_exempts_flagged_module(self, tmp_path, monkeypatch):
+        from repro.lint.allowlists import ALLOWLISTS
+        monkeypatch.setitem(ALLOWLISTS, "R010", ("legacy/*",))
+        write_module(tmp_path, self.BROKEN_OVERRIDE, rel="legacy/mod.py")
+        assert lint_tree(tmp_path, tests_dir=tmp_path,
+                         select=["R010"]) == []
+
+    def test_noqa_on_the_write_site_suppresses(self, tmp_path):
+        write_module(tmp_path, """\
+            class Solver:
+                def _handle_failures(self, iteration):
+                    super()._handle_failures(iteration)
+                    self.x.set_block(0, [0.0])  # noqa: R010
+                    return True
+        """)
+        assert lint_tree(tmp_path, tests_dir=tmp_path,
+                         select=["R010"]) == []
+
+
 class TestEngineBehavior:
     def test_noqa_bare_suppresses(self, tmp_path):
         write_module(tmp_path, "import random  # noqa\n")
@@ -350,6 +737,52 @@ class TestCli:
         out = capsys.readouterr().out
         for rule_id in rule_ids():
             assert rule_id in out
+
+    def test_json_format_clean_tree(self, tmp_path, capsys):
+        import json
+        write_module(tmp_path, "x = 1\n")
+        code = lint_main([str(tmp_path), "--tests-dir", str(tmp_path),
+                          "--format", "json"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["violation_count"] == 0
+        assert report["violations"] == []
+        assert report["rules"] == list(rule_ids())
+        assert report["paths"] == [str(tmp_path)]
+
+    def test_json_format_reports_violations(self, tmp_path, capsys):
+        import json
+        write_module(tmp_path, "import random\n")
+        code = lint_main([str(tmp_path), "--tests-dir", str(tmp_path),
+                          "--format", "json"])
+        assert code == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["violation_count"] == 1
+        (entry,) = report["violations"]
+        assert set(entry) == {"rule_id", "path", "line", "col", "message"}
+        assert entry["rule_id"] == "R001"
+        assert entry["path"] == "mod.py"
+        assert entry["line"] == 1
+
+    def test_json_report_is_stable(self, tmp_path, capsys):
+        write_module(tmp_path, "import random\nimport time\nt = time.time()\n")
+        args = [str(tmp_path), "--tests-dir", str(tmp_path),
+                "--format", "json"]
+        lint_main(args)
+        first = capsys.readouterr().out
+        lint_main(args)
+        assert capsys.readouterr().out == first
+
+    def test_explain_prints_rule_doc_and_allowlist(self, capsys):
+        assert lint_main(["--explain", "R007"]) == 0
+        out = capsys.readouterr().out
+        assert "R007" in out
+        assert "allowlist:" in out
+        assert "utils/rng.py" in out
+
+    def test_explain_unknown_rule_exits_two(self, capsys):
+        assert lint_main(["--explain", "R999"]) == 2
+        assert "R999" in capsys.readouterr().err
 
 
 class TestRealTreeIsClean:

@@ -326,3 +326,79 @@ class TestSanitizedSolves:
             result = repro.solve(problem, rhs=rhs, phi=2,
                                  failures=[(4, [2])])
         assert result.converged
+
+
+class TestHookSuper:
+    """The opt-in hook_super detector: the cooperative resilience-hook
+    chain must fire every iteration on ESR-carrying solvers."""
+
+    def test_not_in_default_detectors(self):
+        from repro.sanitizer import OPT_IN_DETECTORS
+        assert "hook_super" in OPT_IN_DETECTORS
+        assert "hook_super" not in DETECTORS
+        assert not sanitizer.enable().enabled("hook_super")
+
+    def test_env_all_does_not_arm_opt_in(self):
+        san = sanitizer.enable_from_env({"REPRO_SANITIZE": "1"})
+        assert not san.enabled("hook_super")
+
+    def test_env_comma_select_arms(self):
+        san = sanitizer.enable_from_env(
+            {"REPRO_SANITIZE": "uncharged_op, hook_super"})
+        assert san.enabled("hook_super")
+        assert san.enabled("uncharged_op")
+
+    def test_unknown_detector_error_mentions_opt_ins(self):
+        with pytest.raises(ValueError, match="hook_super"):
+            SimSan(["not_a_detector"])
+
+    def _problem(self):
+        return repro.distribute_problem(
+            repro.matrices.poisson_2d(16), n_nodes=4)
+
+    def test_clean_resilient_solve_passes(self):
+        with sanitizer.sanitized(DETECTORS + ("hook_super",)) as san:
+            result = repro.solve(self._problem(), phi=2,
+                                 failures=[(5, [1])])
+        assert result.converged
+        assert san.stats["resilience_hooks"] > 0
+
+    def test_plain_solver_without_esr_is_not_subject(self):
+        with sanitizer.sanitized(DETECTORS + ("hook_super",)):
+            result = repro.solve(self._problem())
+        assert result.converged
+
+    def test_broken_super_chain_detected(self):
+        from repro.core.resilient_pcg import ResilientPCG
+        from repro.precond import make_preconditioner
+
+        class BrokenESR(ResilientPCG):
+            def _after_spmv(self, iteration):
+                pass  # drops the cooperative super() chain (lint rule R010)
+
+        problem = self._problem()
+        precond = make_preconditioner("block_jacobi")
+        precond.setup(problem.matrix.to_global(), problem.partition)
+        solver = BrokenESR(problem.matrix, problem.rhs, precond, phi=1,
+                           context=problem.context)
+        with sanitizer.sanitized(DETECTORS + ("hook_super",)):
+            with pytest.raises(SanitizerError) as excinfo:
+                solver.solve()
+        assert excinfo.value.detector == "hook_super"
+        assert "super()" in str(excinfo.value)
+
+    def test_broken_chain_unnoticed_without_opt_in(self):
+        from repro.core.resilient_pcg import ResilientPCG
+        from repro.precond import make_preconditioner
+
+        class BrokenESR(ResilientPCG):
+            def _after_spmv(self, iteration):
+                pass
+
+        problem = self._problem()
+        precond = make_preconditioner("block_jacobi")
+        precond.setup(problem.matrix.to_global(), problem.partition)
+        solver = BrokenESR(problem.matrix, problem.rhs, precond, phi=1,
+                           context=problem.context)
+        with sanitizer.sanitized():  # default detectors only
+            assert solver.solve().converged
