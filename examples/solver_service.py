@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Solver-as-a-service: a traffic burst coalesced into block solves.
+
+The other examples call ``repro.solve`` directly; this one puts the
+:class:`repro.SolverService` in front of it.  A seeded burst of requests
+from three tenants lands on one registered operator; the coalescing
+scheduler groups compatible requests into ``(n, k)`` block solves (one
+allreduce per reduction instead of ``k``), resolves every request with the
+bit-identical per-column result, and attributes the batch's simulated cost
+back to the tenants -- volume terms by column work, message terms amortized
+across the batch.
+
+Run with:  python examples/solver_service.py
+"""
+
+import numpy as np
+
+import repro
+from repro import SolveSpec, SolverService, TrafficSpec, generate_traffic
+from repro.cluster import MachineModel
+from repro.matrices import poisson_2d
+
+MATRIX_ID = "poisson2d-24"
+K_MAX = 8
+SEED = 7
+
+
+def main() -> None:
+    matrix = poisson_2d(24)
+    n = matrix.shape[0]
+    spec = SolveSpec(preconditioner="block_jacobi", rtol=1e-8)
+
+    service = SolverService(policy="greedy_width", k_max=K_MAX)
+    service.register_matrix(
+        MATRIX_ID,
+        repro.distribute_problem(matrix, n_nodes=4, seed=0,
+                                 machine=MachineModel(jitter_rel_std=0.0)),
+        default_spec=spec,
+    )
+
+    # A seeded burst: 20 requests from three tenants, arriving at once.
+    trace = generate_traffic(
+        TrafficSpec(n_requests=20, matrix_ids=(MATRIX_ID,),
+                    tenants=("alice", "bob", "carol")),
+        {MATRIX_ID: n}, seed=SEED,
+    )
+    handles = [service.submit(MATRIX_ID, req.rhs, tenant=req.tenant)
+               for req in trace]
+    service.drain()
+    results = [handle.result() for handle in handles]
+
+    print(f"{len(results)} requests over {service.stats.n_batches} batches "
+          f"(widths {service.stats.batch_widths}), all converged: "
+          f"{all(r.converged for r in results)}")
+
+    # The contract: riding in a batch changes nothing numerically.  Column
+    # results are bit-identical to a one-at-a-time repro.solve.
+    req, res = trace[0], results[0]
+    reference = repro.solve(service.problem(MATRIX_ID), req.rhs, spec=spec)
+    print(f"request 0 rode batch {res.batch_id} at width {res.batch_width}; "
+          f"bit-identical to direct solve: "
+          f"{np.array_equal(res.x, reference.x)}")
+
+    # Per-tenant cost ledger: exact attribution of the batch charges.
+    aggregate = service.stats.aggregate()
+    print(f"\nsimulated time charged: {aggregate['simulated_time']:.4f}s, "
+          f"attributed per tenant:")
+    for name, usage in aggregate["tenants"].items():
+        comm = sum(v for k, v in usage["charges"].items()
+                   if k.startswith("comm."))
+        print(f"  {name:>6}: {usage['n_requests']:>2} requests, "
+              f"{usage['iterations']:>4} iterations, "
+              f"{usage['simulated_time']:.4f}s simulated "
+              f"({comm:.4f}s comm, amortized over batch peers)")
+
+    service.shutdown()
+    print("\nSame solves, one service: batching amortizes the allreduce "
+          "latency the paper's block solver was built around.")
+
+
+if __name__ == "__main__":
+    main()

@@ -42,6 +42,7 @@ from . import failures  # noqa: F401
 from . import harness  # noqa: F401
 from . import matrices  # noqa: F401
 from . import precond  # noqa: F401
+from . import service  # noqa: F401
 from . import solvers  # noqa: F401
 from . import utils  # noqa: F401
 from .cluster import (
@@ -89,6 +90,17 @@ from .failures import (
 )
 from .harness import CampaignSpec, run_campaign
 from .precond import make_preconditioner
+from .service import (
+    BATCHING_POLICIES,
+    BatchingPolicy,
+    JobHandle,
+    RequestResult,
+    ServiceStats,
+    SolverService,
+    TrafficSpec,
+    generate_traffic,
+    register_batching_policy,
+)
 from .solvers import SolveResult, pcg
 
 __version__ = "1.0.0"
@@ -145,4 +157,14 @@ __all__ = [
     "make_preconditioner",
     "SolveResult",
     "pcg",
+    # serving layer
+    "SolverService",
+    "JobHandle",
+    "RequestResult",
+    "ServiceStats",
+    "BATCHING_POLICIES",
+    "BatchingPolicy",
+    "register_batching_policy",
+    "TrafficSpec",
+    "generate_traffic",
 ]

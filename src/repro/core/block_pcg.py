@@ -129,6 +129,39 @@ class BlockSolveResult:
             f"{list(self.iterations)}, max ||b_j - A x_j|| = {worst:.3e}"
         )
 
+    def to_dict(self, *, include_solution: bool = False,
+                include_history: bool = True) -> Dict[str, object]:
+        """JSON-serializable dictionary (block counterpart of
+        :meth:`SolveResult.to_dict`: per-column lists instead of scalars,
+        plus the simulated-time accounting and recovery episodes)."""
+        from ..solvers.result import jsonify
+
+        data: Dict[str, object] = {
+            "converged": [bool(c) for c in self.converged],
+            "all_converged": self.all_converged,
+            "iterations": [int(i) for i in self.iterations],
+            "global_iterations": int(self.global_iterations),
+            "final_residual_norms": [float(v)
+                                     for v in self.final_residual_norms],
+            "true_residual_norms": [float(v)
+                                    for v in self.true_residual_norms],
+            "info": jsonify(self.info),
+            "simulated_time": float(self.simulated_time),
+            "simulated_iteration_time": float(self.simulated_iteration_time),
+            "simulated_recovery_time": float(self.simulated_recovery_time),
+            "time_breakdown": {k: float(self.time_breakdown[k])
+                               for k in sorted(self.time_breakdown)},
+            "n_failures_recovered": self.n_failures_recovered,
+            "recoveries": [jsonify(r) for r in self.recoveries],
+        }
+        if include_history:
+            data["residual_histories"] = [[float(v) for v in history]
+                                          for history in
+                                          self.residual_histories]
+        if include_solution and self.x is not None:
+            data["x"] = jsonify(self.x)
+        return data
+
 
 class BlockPCG:
     """Lock-step multi-RHS PCG on a :class:`VirtualCluster`.

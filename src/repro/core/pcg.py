@@ -55,6 +55,22 @@ class DistributedSolveResult(SolveResult):
     def n_failures_recovered(self) -> int:
         return int(sum(len(getattr(r, "failed_ranks", [])) for r in self.recoveries))
 
+    def to_dict(self, *, include_solution: bool = False,
+                include_history: bool = True) -> Dict[str, object]:
+        """Extend :meth:`SolveResult.to_dict` with simulated-time accounting."""
+        from ..solvers.result import jsonify
+
+        data = super().to_dict(include_solution=include_solution,
+                               include_history=include_history)
+        data["simulated_time"] = float(self.simulated_time)
+        data["simulated_iteration_time"] = float(self.simulated_iteration_time)
+        data["simulated_recovery_time"] = float(self.simulated_recovery_time)
+        data["time_breakdown"] = {k: float(self.time_breakdown[k])
+                                  for k in sorted(self.time_breakdown)}
+        data["n_failures_recovered"] = self.n_failures_recovered
+        data["recoveries"] = [jsonify(r) for r in self.recoveries]
+        return data
+
 
 class DistributedPCG:
     """Block-row distributed PCG on a :class:`VirtualCluster`."""

@@ -80,6 +80,22 @@ class RecoveryReport:
     def n_failures(self) -> int:
         return len(self.failed_ranks)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable dictionary of the episode (for service
+        responses and campaign outputs; wallclock is reported as-is and is
+        the only non-deterministic field)."""
+        return {
+            "iteration": int(self.iteration),
+            "failed_ranks": [int(r) for r in self.failed_ranks],
+            "n_failures": self.n_failures,
+            "restarts": int(self.restarts),
+            "simulated_time": float(self.simulated_time),
+            "wallclock_time": float(self.wallclock_time),
+            "reconstruction_form": self.reconstruction_form,
+            "local_solve_stats": [s.to_dict() for s in self.local_solve_stats],
+            "notes": list(self.notes),
+        }
+
 
 class ESRReconstructor:
     """Implements the (multi-node) ESR reconstruction phase."""

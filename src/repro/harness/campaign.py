@@ -270,11 +270,14 @@ def _execute_run(spec: CampaignSpec, index: int) -> Dict[str, Any]:
             detail=str(exc)[:200],
         )
         return outcome
+    # Serialize through the result's own to_dict instead of hand-picking
+    # attributes; the fields below are bit-identical to the originals.
+    summary = result.to_dict(include_history=False)
     outcome.update(
-        kind="converged" if result.converged else "not_converged",
-        iterations=int(result.iterations),
-        simulated_time=float(result.simulated_time),
-        n_recoveries=len(result.recoveries),
+        kind="converged" if summary["converged"] else "not_converged",
+        iterations=int(summary["iterations"]),
+        simulated_time=float(summary["simulated_time"]),
+        n_recoveries=len(summary["recoveries"]),
     )
     return outcome
 
@@ -311,11 +314,12 @@ def _baseline_outcome(spec: CampaignSpec) -> RunOutcome:
 
     matrix = _campaign_matrix(spec)
     result = solve(matrix, n_nodes=spec.n_nodes, spec=spec.solve_spec(()))
+    summary = result.to_dict(include_history=False)
     return RunOutcome(
         index=-1,
-        kind="converged" if result.converged else "not_converged",
-        iterations=int(result.iterations),
-        simulated_time=float(result.simulated_time),
+        kind="converged" if summary["converged"] else "not_converged",
+        iterations=int(summary["iterations"]),
+        simulated_time=float(summary["simulated_time"]),
     )
 
 

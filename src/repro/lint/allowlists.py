@@ -23,11 +23,18 @@ ALLOWLISTS: Dict[str, Tuple[str, ...]] = {
     # R002 -- wallclock may only be read where *host* time is the measured
     # quantity, never where it could leak into simulated charges:
     #   - harness/experiment.py reports wallclock next to simulated time;
-    #   - core/reconstruction.py times the driver-side recovery solve.
-    # (Benchmarks live outside ``src/repro`` and are not scanned.)
+    #   - core/reconstruction.py times the driver-side recovery solve;
+    #   - service/service.py drives the batching windows and the per-request
+    #     latency accounting off host-monotonic time (queue wait / batch
+    #     wait / solve seconds are host quantities by definition; simulated
+    #     charges come from the ledger, never from this clock).  The
+    #     exemption is deliberately this one file, not the service package:
+    #     policies/accounting/traffic receive instants as parameters and
+    #     must stay clock-free.
     "R002": (
         "harness/experiment.py",
         "core/reconstruction.py",
+        "service/service.py",
     ),
     # R003 -- no exemptions: every registered name must be test-covered.
     "R003": (),
@@ -59,11 +66,16 @@ ALLOWLISTS: Dict[str, Tuple[str, ...]] = {
     #   - harness/experiment.py measures host wallclock by design (its
     #     values feed host-timing reports, never simulated charges);
     #   - core/reconstruction.py times the driver-side recovery solve and
-    #     stores the measurement in RecoveryReport's wallclock field.
+    #     stores the measurement in RecoveryReport's wallclock field;
+    #   - service/service.py is the R002-exempted wallclock reader of the
+    #     serving layer: its monotonic instants flow only into the
+    #     latency fields of RequestResult/ServiceStats (excluded from the
+    #     deterministic ``aggregate()`` view by design).
     "R007": (
         "utils/rng.py",
         "harness/experiment.py",
         "core/reconstruction.py",
+        "service/service.py",
     ),
     # R008 -- no exemptions: every comm path charges the ledger.
     "R008": (),

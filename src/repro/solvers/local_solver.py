@@ -39,6 +39,17 @@ class LocalSolveStats:
     #: Approximate flop count charged to the recovery-compute phase.
     work_flops: float
 
+    def to_dict(self) -> dict:
+        """JSON-serializable dictionary of the stats."""
+        return {
+            "method": self.method,
+            "size": int(self.size),
+            "nnz": int(self.nnz),
+            "iterations": int(self.iterations),
+            "residual_norm": float(self.residual_norm),
+            "work_flops": float(self.work_flops),
+        }
+
 
 class _IluPreconditioner(Preconditioner):
     """Thin ILU wrapper so the inner PCG can use scipy's spilu.

@@ -3,9 +3,32 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
+
+
+def jsonify(value: Any) -> Any:
+    """Recursively convert a value into plain JSON-serializable types.
+
+    numpy scalars become Python scalars, numpy arrays become (nested) lists,
+    mappings and sequences are converted element-wise, and objects exposing
+    their own ``to_dict`` delegate to it.  Anything already JSON-native
+    (str/int/float/bool/None) passes through unchanged.
+    """
+    if value is None or isinstance(value, (str, bool, int, float)):
+        return value
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.generic):
+        return value.item()
+    if hasattr(value, "to_dict"):
+        return value.to_dict()
+    if isinstance(value, dict):
+        return {str(k): jsonify(value[k]) for k in value}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(v) for v in value]
+    return repr(value)
 
 
 @dataclass
@@ -66,3 +89,31 @@ class SolveResult:
             f"||r|| = {self.final_residual_norm:.3e}, "
             f"||b - Ax|| = {self.true_residual_norm:.3e}"
         )
+
+    def to_dict(self, *, include_solution: bool = False,
+                include_history: bool = True) -> Dict[str, Any]:
+        """JSON-serializable dictionary of the result.
+
+        The solution vector and the internal solver residual are large and
+        excluded unless ``include_solution`` is set; the per-iteration
+        residual history is included unless ``include_history`` is cleared.
+        Subclasses extend the dictionary with their extra fields, so service
+        responses and campaign outputs can serialize any result uniformly
+        instead of hand-picking attributes.
+        """
+        data: Dict[str, Any] = {
+            "converged": bool(self.converged),
+            "iterations": int(self.iterations),
+            "final_residual_norm": float(self.final_residual_norm),
+            "true_residual_norm": float(self.true_residual_norm),
+            "relative_residual_deviation": float(
+                self.relative_residual_deviation),
+            "info": jsonify(self.info),
+        }
+        if include_history:
+            data["residual_norms"] = [float(v) for v in self.residual_norms]
+        if include_solution:
+            data["x"] = jsonify(self.x)
+            if self.solver_residual is not None:
+                data["solver_residual"] = jsonify(self.solver_residual)
+        return data

@@ -1,0 +1,90 @@
+"""Seeded synthetic traffic generation (R001: fully seed-determined)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.service import TrafficSpec, generate_traffic
+
+
+class TestTrafficSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_requests"):
+            TrafficSpec(n_requests=-1)
+        with pytest.raises(ValueError, match="matrix_ids"):
+            TrafficSpec(matrix_ids=())
+        with pytest.raises(ValueError, match="tenants"):
+            TrafficSpec(tenants=())
+        with pytest.raises(ValueError, match="n_modes"):
+            TrafficSpec(n_modes=-2)
+
+    def test_json_round_trip(self):
+        spec = TrafficSpec(n_requests=5, matrix_ids=("a", "b"),
+                           tenants=("x",), rate_per_s=10.0, n_modes=2,
+                           mode_noise=0.05)
+        restored = TrafficSpec.from_dict(json.loads(json.dumps(
+            spec.to_dict())))
+        assert restored == spec
+
+
+class TestGenerateTraffic:
+    SIZES = {"a": 16, "b": 24}
+
+    def test_same_seed_same_trace(self):
+        spec = TrafficSpec(n_requests=20, matrix_ids=("a", "b"),
+                           tenants=("t0", "t1"), rate_per_s=100.0, n_modes=2)
+        first = generate_traffic(spec, self.SIZES, seed=3)
+        second = generate_traffic(spec, self.SIZES, seed=3)
+        assert len(first) == len(second) == 20
+        for lhs, rhs in zip(first, second):
+            assert lhs.matrix_id == rhs.matrix_id
+            assert lhs.tenant == rhs.tenant
+            assert lhs.arrival_s == rhs.arrival_s
+            assert np.array_equal(lhs.rhs, rhs.rhs)
+
+    def test_different_seed_different_payloads(self):
+        spec = TrafficSpec(n_requests=8, matrix_ids=("a",))
+        first = generate_traffic(spec, self.SIZES, seed=1)
+        second = generate_traffic(spec, self.SIZES, seed=2)
+        assert not np.array_equal(first[0].rhs, second[0].rhs)
+
+    def test_rhs_sizes_match_targets(self):
+        spec = TrafficSpec(n_requests=30, matrix_ids=("a", "b"))
+        for req in generate_traffic(spec, self.SIZES, seed=0):
+            assert req.rhs.shape == (self.SIZES[req.matrix_id],)
+            assert req.rhs.dtype == np.float64
+
+    def test_zero_rate_means_simultaneous_arrivals(self):
+        spec = TrafficSpec(n_requests=5, matrix_ids=("a",), rate_per_s=0.0)
+        trace = generate_traffic(spec, self.SIZES, seed=0)
+        assert [req.arrival_s for req in trace] == [0.0] * 5
+
+    def test_positive_rate_yields_increasing_arrivals(self):
+        spec = TrafficSpec(n_requests=10, matrix_ids=("a",), rate_per_s=50.0)
+        arrivals = [req.arrival_s
+                    for req in generate_traffic(spec, self.SIZES, seed=0)]
+        assert all(b > a for a, b in zip(arrivals, arrivals[1:]))
+
+    def test_modes_cluster_payloads(self):
+        spec = TrafficSpec(n_requests=40, matrix_ids=("a",), n_modes=2,
+                           mode_noise=1e-6)
+        trace = generate_traffic(spec, self.SIZES, seed=5)
+        # With near-zero noise the payloads collapse onto the two modes.
+        unique = []
+        for req in trace:
+            if not any(np.allclose(req.rhs, u, atol=1e-4) for u in unique):
+                unique.append(req.rhs)
+        assert len(unique) == 2
+
+    def test_missing_size_raises(self):
+        spec = TrafficSpec(n_requests=1, matrix_ids=("ghost",))
+        with pytest.raises(ValueError, match="ghost"):
+            generate_traffic(spec, self.SIZES, seed=0)
+
+    def test_indices_are_sequential(self):
+        spec = TrafficSpec(n_requests=6, matrix_ids=("a",))
+        trace = generate_traffic(spec, self.SIZES, seed=0)
+        assert [req.index for req in trace] == list(range(6))
