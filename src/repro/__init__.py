@@ -53,6 +53,7 @@ from .cluster import (
 )
 from .core import (
     PLACEMENTS,
+    REDUNDANCY_SCHEMES,
     SOLVERS,
     BackupPlacement,
     BlockPCG,
@@ -67,14 +68,19 @@ from .core import (
     RackLayout,
     RecoveryReport,
     RedundancyScheme,
+    RedundancySchemeBase,
+    RedundancySchemeRegistry,
     ResilienceSpec,
     ResilientBlockPCG,
     ResilientPCG,
+    RSParityScheme,
     SolverRegistry,
     SolveSpec,
+    build_redundancy_scheme,
     distribute_problem,
     reference_solve,
     register_placement,
+    register_redundancy_scheme,
     register_solver,
     resilient_solve,
     solve,
@@ -136,6 +142,12 @@ __all__ = [
     "ESRReconstructor",
     "RecoveryReport",
     "RedundancyScheme",
+    "RedundancySchemeBase",
+    "RedundancySchemeRegistry",
+    "REDUNDANCY_SCHEMES",
+    "RSParityScheme",
+    "register_redundancy_scheme",
+    "build_redundancy_scheme",
     "BackupPlacement",
     "PLACEMENTS",
     "PlacementStrategy",

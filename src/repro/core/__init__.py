@@ -34,12 +34,18 @@ from .placement import (
 )
 from .reconstruction import ESRReconstructor, RecoveryReport
 from .redundancy import (
+    REDUNDANCY_SCHEMES,
     BackupPlacement,
     OwnerRedundancy,
     RedundancyScheme,
+    RedundancySchemeBase,
+    RedundancySchemeRegistry,
     backup_targets,
+    build_redundancy_scheme,
     paper_backup_target,
+    register_redundancy_scheme,
 )
+from .rs_parity import RSParityScheme
 from .resilient_block_pcg import ResilientBlockPCG
 from .resilient_pcg import ResilientPCG
 
@@ -54,6 +60,12 @@ __all__ = [
     "ESRReconstructor",
     "RecoveryReport",
     "RedundancyScheme",
+    "RedundancySchemeBase",
+    "RedundancySchemeRegistry",
+    "REDUNDANCY_SCHEMES",
+    "RSParityScheme",
+    "register_redundancy_scheme",
+    "build_redundancy_scheme",
     "OwnerRedundancy",
     "BackupPlacement",
     "backup_targets",

@@ -50,12 +50,25 @@ all ``k`` columns of a failed ``(n_i, k)`` block from the same surviving
 copies (one message per holder, ``rows * k`` elements), and the replicated
 recurrence scalars become replicated ``(k,)`` coefficient vectors
 (:meth:`ESRProtocol.recover_replicated_vector`).
+
+**Parity schemes.**  The storage strategy above is the default ``"copies"``
+redundancy scheme; the protocol equally drives any scheme registered in
+:data:`~repro.core.redundancy.REDUNDANCY_SCHEMES`.  For ``kind = "parity"``
+schemes (``"rs_parity"``) the per-generation store is one owner snapshot
+plus ``m = phi`` Reed--Solomon parity rows per rack-spanning stripe of ``g``
+owner blocks, written to the stripe's off-stripe holder nodes; recovery
+decodes the lost blocks bit-exactly from any ``g`` surviving
+snapshot/parity rows (charged as ``g`` block downloads) and then re-encodes
+the stripe's missing parity so the tolerance is restored before the solve
+resumes.  Because the decode is bit-exact, everything downstream -- the
+reconstruction, the iterates, the convergence trajectory -- is bit-identical
+to the copies path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
@@ -65,13 +78,24 @@ from ..cluster.errors import NodeFailedError, UnrecoverableStateError
 from ..distributed.comm_context import CommunicationContext
 from ..distributed.dvector import DistributedVector
 from ..distributed.partition import BlockRowPartition
+from ..utils.rng import RandomState
 from .placement import PlacementLike
-from .redundancy import BackupPlacement, RedundancyScheme
+from .redundancy import (
+    BackupPlacement,
+    RedundancyScheme,
+    RedundancySchemeBase,
+    build_redundancy_scheme,
+)
 
 #: Node-memory key prefix for ESR ghost stores.
 _ESR_KEY = "esr_store"
 #: Node-memory key for replicated scalars.
 _SCALAR_KEY = "esr_scalars"
+#: Node-memory key prefix for an owner's own generation snapshot (parity
+#: schemes; tagged with the iteration so stale entries never decode).
+_ESR_SELF_KEY = "esr_self"
+#: Node-memory key prefix for stored parity rows (parity schemes).
+_ESR_PARITY_KEY = "esr_parity"
 
 
 class FusedStagingIndex:
@@ -285,8 +309,11 @@ class ESRProtocol:
 
     def __init__(self, cluster: VirtualCluster, context: CommunicationContext,
                  phi: int, *, placement: PlacementLike = BackupPlacement.PAPER,
-                 scheme: Optional[RedundancyScheme] = None,
-                 matrix=None, n_cols: Optional[int] = None):
+                 scheme: Union[str, RedundancySchemeBase, None] = None,
+                 matrix=None, n_cols: Optional[int] = None,
+                 rack_size: Optional[int] = None,
+                 rng: Optional[RandomState] = None,
+                 scheme_options: Optional[Dict[str, object]] = None):
         self.cluster = cluster
         self.context = context
         self.partition: BlockRowPartition = context.partition
@@ -298,8 +325,15 @@ class ESRProtocol:
         self.n_cols = int(n_cols) if n_cols is not None else None
         if self.n_cols is not None and self.n_cols < 1:
             raise ValueError(f"n_cols must be positive, got {n_cols}")
-        self.scheme = scheme if scheme is not None else RedundancyScheme(
-            context, phi, placement=placement
+        #: The redundancy scheme: an already-built instance passes through
+        #: unchanged (the solver path); otherwise the registered name (or
+        #: the default ``"copies"``) is built with *every* layout parameter
+        #: forwarded -- ``rack_size`` and ``rng`` included, so rack-aware
+        #: placements see the configured failure domains and the ``random``
+        #: placement is seedable from here too.
+        self.scheme: RedundancySchemeBase = build_redundancy_scheme(
+            scheme, context, phi, placement=placement, rng=rng,
+            rack_size=rack_size, options=scheme_options,
         )
         if self.scheme.phi != self.phi:
             raise ValueError(
@@ -311,15 +345,22 @@ class ESRProtocol:
         #: during the SpMV that precedes each ``after_spmv`` call; when set,
         #: the fused staging reuses those pool values instead of re-gathering.
         self._matrix = matrix
+        #: Non-``None`` for parity-kind schemes: storage switches from the
+        #: held-pattern snapshots to owner-local snapshots + parity rows.
+        self._parity = self.scheme if self.scheme.kind == "parity" else None
         #: (owner, holder) -> global indices the holder stores each iteration.
-        self._pattern = self.scheme.held_pattern()
+        self._pattern = ({} if self._parity is not None
+                         else self.scheme.held_pattern())
         #: Precomputed local (owner-block) offsets per pattern entry.
         self._pattern_local: Dict[Tuple[int, int], np.ndarray] = {}
         for (owner, holder), idx in self._pattern.items():
             start, _ = self.partition.range_of(owner)
             self._pattern_local[(owner, holder)] = idx - start
-        #: Fused per-iteration staging tables (pattern and context are static).
-        self._staging = FusedStagingIndex(self.scheme, self._pattern_local)
+        #: Fused per-iteration staging tables (pattern and context are
+        #: static); parity schemes stage nothing through the pattern path.
+        self._staging = (None if self._parity is not None
+                         else FusedStagingIndex(self.scheme,
+                                                self._pattern_local))
         #: Iteration number stored in each of the two generation slots.
         self._generations: Dict[int, GenerationInfo] = {
             0: GenerationInfo(), 1: GenerationInfo()
@@ -360,7 +401,9 @@ class ESRProtocol:
             )
         slot = self._slot_for(iteration)
         self._generations[slot] = GenerationInfo(iteration=iteration)
-        if not self._staging.is_empty:
+        if self._parity is not None:
+            self._store_parity(p, iteration, slot)
+        elif not self._staging.is_empty:
             engine = (self._matrix.cached_spmv_engine(self.context)
                       if self._matrix is not None else None)
             if self.n_cols is not None:
@@ -374,6 +417,44 @@ class ESRProtocol:
         messages, elements = self._overhead_traffic
         if messages or elements:
             self.cluster.ledger.add_traffic(Phase.REDUNDANCY_COMM, messages, elements)
+
+    def _store_parity(self, p, iteration: int, slot: int) -> None:
+        """Parity-scheme storage: owner-local snapshots + per-stripe parity.
+
+        Every alive owner keeps a node-local copy of its own block for the
+        slot (no traffic -- the extra traffic charged by ``after_spmv`` is
+        the parity shipping the scheme's charge model accounts for); every
+        stripe whose members are all alive encodes ``m`` parity rows onto
+        its alive holders.  A stripe with a failed member keeps its older
+        parity untouched -- entries are tagged with the iteration, so
+        recovery never mixes generations.
+        """
+        scheme = self._parity
+        blocks: Dict[int, np.ndarray] = {}
+        failed: Set[int] = set()
+        for owner in range(self.partition.n_parts):
+            try:
+                block = p.get_block(owner)
+            except NodeFailedError:
+                # The owner itself is failed; its block will be
+                # reconstructed before the solver continues.
+                failed.add(owner)
+                continue
+            blocks[owner] = block
+            self.cluster.node(owner).memory[(_ESR_SELF_KEY, slot)] = (
+                iteration, np.array(block, dtype=np.float64, copy=True),
+            )
+        for gidx in range(scheme.n_groups):
+            members = scheme.group_members(gidx)
+            if any(rank in failed for rank in members):
+                continue
+            rows = scheme.encode(gidx, [blocks[rank] for rank in members])
+            for j, holder in enumerate(scheme.group_holders(gidx)):
+                node = self.cluster.node(holder)
+                if node.is_alive:
+                    node.memory[(_ESR_PARITY_KEY, slot, gidx, j)] = (
+                        iteration, rows[j],
+                    )
 
     def store_replicated_scalars(self, iteration: int, **scalars) -> None:
         """Replicate solver scalars (e.g. ``beta``) on every alive node.
@@ -404,8 +485,28 @@ class ESRProtocol:
         )
 
     def holders_with_copies(self, owner: int, iteration: int) -> List[int]:
-        """Surviving holder ranks that have copies of *owner*'s block."""
+        """Surviving ranks holding state that helps recover *owner*'s block.
+
+        For pattern (copies) schemes these are the holders with snapshots of
+        the owner's elements; for parity schemes, the stripe members with a
+        valid generation snapshot plus the holders with a valid parity row
+        of the owner's stripe.
+        """
         slot = self._slot_for(iteration)
+        if self._parity is not None:
+            scheme = self._parity
+            gidx = scheme.group_of(owner)
+            ranks = set()
+            for rank in scheme.group_members(gidx):
+                if self._parity_snapshot(rank, slot, iteration) is not None:
+                    ranks.add(rank)
+            for j, holder in enumerate(scheme.group_holders(gidx)):
+                node = self.cluster.node(holder)
+                key = (_ESR_PARITY_KEY, slot, gidx, j)
+                if node.is_alive and key in node.memory and \
+                        node.memory[key][0] == iteration:
+                    ranks.add(holder)
+            return sorted(ranks)
         holders = []
         for (own, holder) in self._pattern_local:
             if own != owner:
@@ -449,6 +550,9 @@ class ESRProtocol:
                 f"(slot holds iteration {stored})"
             )
         destination = owner if destination is None else destination
+        if self._parity is not None:
+            return self._recover_parity_block(owner, iteration, slot,
+                                              charge, destination)
         start, _ = self.partition.range_of(owner)
         size = self.partition.size_of(owner)
         shape = (size,) if self.n_cols is None else (size, self.n_cols)
@@ -490,6 +594,130 @@ class ESRProtocol:
                 f"(phi={self.phi} redundant copies were kept)"
             )
         return block
+
+    def _parity_snapshot(self, rank: int, slot: int,
+                         iteration: int) -> Optional[np.ndarray]:
+        """*rank*'s own generation snapshot if alive and iteration-tagged."""
+        node = self.cluster.node(rank)
+        if not node.is_alive:
+            return None
+        key = (_ESR_SELF_KEY, slot)
+        if key not in node.memory:
+            return None
+        tag, block = node.memory[key]
+        return block if tag == iteration else None
+
+    def _charge_recovery_message(self, source: int, destination: int,
+                                 n_elements: int) -> None:
+        """One recovery message of *n_elements* (node-local transfers free)."""
+        if source == destination:
+            return
+        ledger = self.cluster.ledger
+        latency = self.cluster.topology.latency(source, destination)
+        ledger.add_time(Phase.RECOVERY_COMM,
+                        ledger.model.message_time(latency, n_elements))
+        ledger.add_traffic(Phase.RECOVERY_COMM, 1, n_elements)
+
+    def _recover_parity_block(self, owner: int, iteration: int, slot: int,
+                              charge: bool, destination: int) -> np.ndarray:
+        """Parity-scheme recovery: solve the stripe's parity system.
+
+        CR-SIM's ``repair`` cost model: the destination downloads the ``g``
+        stripe units -- the surviving member snapshots plus as many parity
+        rows as members are missing -- decodes the missing blocks, and
+        heals the stripe (writes the decoded snapshots back onto the
+        replaced members and re-encodes lost parity rows), so co-failed
+        members recover node-locally and the next failure sees a fully
+        redundant stripe again.
+        """
+        scheme = self._parity
+        row_width = 1 if self.n_cols is None else self.n_cols
+        own = self._parity_snapshot(owner, slot, iteration)
+        if own is not None:
+            # The owner's snapshot survived (e.g. a previous recovery of a
+            # co-failed stripe member healed it); node-local, no charge.
+            return np.array(own, copy=True)
+        gidx = scheme.group_of(owner)
+        members = scheme.group_members(gidx)
+        have: Dict[int, np.ndarray] = {}
+        for rank in members:
+            snap = self._parity_snapshot(rank, slot, iteration)
+            if snap is not None:
+                have[rank] = snap
+        missing = [rank for rank in members if rank not in have]
+        rows: Dict[int, Tuple[int, np.ndarray]] = {}
+        for j, holder in enumerate(scheme.group_holders(gidx)):
+            node = self.cluster.node(holder)
+            key = (_ESR_PARITY_KEY, slot, gidx, j)
+            if node.is_alive and key in node.memory:
+                tag, row = node.memory[key]
+                if tag == iteration:
+                    rows[j] = (holder, row)
+        if len(rows) < len(missing):
+            raise UnrecoverableStateError(
+                f"cannot recover block of rank {owner} at iteration "
+                f"{iteration}: stripe {gidx} lost {len(missing)} of "
+                f"{len(members)} members but only {len(rows)} parity rows "
+                f"survive (m={scheme.m})"
+            )
+        use = sorted(rows)[:len(missing)]
+        decoded = scheme.decode(gidx, have,
+                                {j: rows[j][1] for j in use},
+                                n_cols=self.n_cols)
+        if charge:
+            # Download the g stripe units to the destination.
+            for rank in sorted(have):
+                self._charge_recovery_message(
+                    rank, destination,
+                    self.partition.size_of(rank) * row_width)
+            padded = scheme.padded_rows(gidx) * row_width
+            for j in use:
+                self._charge_recovery_message(rows[j][0], destination, padded)
+        self._heal_parity_group(gidx, slot, iteration, have, decoded,
+                                charge, destination)
+        return np.array(decoded[owner], copy=True)
+
+    def _heal_parity_group(self, gidx: int, slot: int, iteration: int,
+                           have: Dict[int, np.ndarray],
+                           decoded: Dict[int, np.ndarray],
+                           charge: bool, destination: int) -> None:
+        """Write decoded snapshots onto replaced members, restore parity.
+
+        Each upload (a member snapshot or a re-encoded parity row) is one
+        recovery message from the decoding destination; writes onto the
+        destination itself are node-local and free.
+        """
+        scheme = self._parity
+        row_width = 1 if self.n_cols is None else self.n_cols
+        members = scheme.group_members(gidx)
+        for rank in sorted(decoded):
+            node = self.cluster.node(rank)
+            if not node.is_alive:
+                continue
+            node.memory[(_ESR_SELF_KEY, slot)] = (
+                iteration, np.array(decoded[rank], dtype=np.float64,
+                                    copy=True),
+            )
+            if charge:
+                self._charge_recovery_message(
+                    destination, rank,
+                    self.partition.size_of(rank) * row_width)
+        blocks = {}
+        blocks.update(have)
+        blocks.update(decoded)
+        parity_rows = scheme.encode(
+            gidx, [blocks[rank] for rank in members])
+        padded = scheme.padded_rows(gidx) * row_width
+        for j, holder in enumerate(scheme.group_holders(gidx)):
+            node = self.cluster.node(holder)
+            if not node.is_alive:
+                continue
+            key = (_ESR_PARITY_KEY, slot, gidx, j)
+            if key in node.memory and node.memory[key][0] == iteration:
+                continue
+            node.memory[key] = (iteration, parity_rows[j])
+            if charge:
+                self._charge_recovery_message(destination, holder, padded)
 
     def _recover_replicated(self, name: str, charge: bool, n_elements_of):
         """Scan survivors for replicated payload *name*; charge one message.

@@ -6,8 +6,11 @@ state ``(x^(j), r^(j), z^(j), p^(j))`` on the replacement nodes:
 1. retrieve the static data (``A_{I_f,I}``, preconditioner rows, ``b_{I_f}``)
    from reliable storage,
 2. recover the replicated scalar ``beta^(j-1)`` from any survivor,
-3. recover ``p^(j)_{I_f}`` and ``p^(j-1)_{I_f}`` from the redundant copies the
-   ESR protocol keeps on surviving nodes,
+3. recover ``p^(j)_{I_f}`` and ``p^(j-1)_{I_f}`` from whatever redundancy the
+   protocol's scheme keeps on surviving nodes -- full off-node copies for the
+   default ``"copies"`` scheme, or Reed--Solomon parity decoding for
+   ``"rs_parity"``; either way the recovered block is bit-identical to the
+   lost one, so the reconstruction below is scheme-agnostic,
 4. compute ``z^(j)_{I_f} = p^(j)_{I_f} - beta^(j-1) p^(j-1)_{I_f}``,
 5. reconstruct ``r^(j)_{I_f}`` -- depending on which preconditioner
    representation is available (``P = M^{-1}``: solve ``P_{I_f,I_f} r = z -

@@ -24,12 +24,25 @@ next-ranks, random, and the failure-domain-aware strategies of
 paper lists as future work; the strategy registry itself lives in
 :mod:`repro.core.placement` and this module re-exports the historical
 names (``BackupPlacement``, ``paper_backup_target``).
+
+**The scheme registry.**  Keeping ``phi`` *full* copies is only one point
+on the overhead-vs-tolerance frontier; erasure-coded alternatives (e.g. the
+Reed-Solomon parity stripes of :mod:`repro.core.rs_parity`) tolerate the
+same number of failures at a fraction of the stored volume.  The redundancy
+layer is therefore pluggable: scheme classes register under short names via
+``@register_redundancy_scheme("name")`` (mirroring the solver /
+preconditioner / placement / batching-policy registries), a
+:class:`~repro.core.spec.ResilienceSpec` selects one by name through its
+``scheme`` field, and :func:`build_redundancy_scheme` constructs the chosen
+class.  ``"copies"`` -- this module's :class:`RedundancyScheme`, unchanged
+-- is the default and reproduces the paper's behaviour bit for bit.
 """
 
 from __future__ import annotations
 
+import importlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Type, Union
 
 import numpy as np
 
@@ -48,9 +61,14 @@ from .placement import (  # re-exported for backwards compatibility
 __all__ = [
     "BackupPlacement",
     "OwnerRedundancy",
+    "REDUNDANCY_SCHEMES",
     "RedundancyScheme",
+    "RedundancySchemeBase",
+    "RedundancySchemeRegistry",
     "backup_targets",
+    "build_redundancy_scheme",
     "paper_backup_target",
+    "register_redundancy_scheme",
 ]
 
 
@@ -79,8 +97,12 @@ def backup_targets(owner: int, phi: int, n_nodes: int,
     targets = strategy.targets(owner, phi, n_nodes, racks=racks, rng=rng)
     if len(targets) != phi or len(set(targets)) != len(targets) \
             or owner in targets:
-        raise AssertionError(
-            f"invalid backup targets {targets} for owner {owner} (N={n_nodes})"
+        # A real error, not an assert: a broken *registered* strategy must
+        # fail loudly (and identifiably) even under ``python -O``.
+        raise ValueError(
+            f"placement strategy {strategy.name!r} returned invalid backup "
+            f"targets {targets} for owner {owner} (phi={phi}, N={n_nodes}): "
+            "targets must be phi distinct ranks different from the owner"
         )
     return [int(t) for t in targets]
 
@@ -109,7 +131,192 @@ class OwnerRedundancy:
         return int(sum(self.extra_counts))
 
 
-class RedundancyScheme:
+class RedundancySchemeBase:
+    """Interface every registered redundancy scheme implements.
+
+    A scheme decides *what* redundant state the ESR protocol keeps per
+    generation and what it costs; the protocol (:class:`repro.core.esr.
+    ESRProtocol`) owns the node-memory I/O.  Concrete schemes come in two
+    kinds, advertised through :attr:`kind`:
+
+    ``"pattern"``
+        Full-copy schemes: :meth:`held_pattern` maps ``(owner, holder)``
+        pairs to the global element indices the holder snapshots each
+        iteration, and recovery re-assembles a block from surviving copies.
+
+    ``"parity"``
+        Erasure-coded schemes: owners are grouped into stripes and only
+        small parity blocks travel; recovery solves the per-group parity
+        system (see :mod:`repro.core.rs_parity`).
+
+    Every scheme owes the **charge-model contract** of Sec. 4.2: the
+    per-round times, the per-iteration traffic, and bounds satisfying
+    ``lower <= per_iteration_overhead_time <= upper`` for every topology /
+    ``n_cols`` / placement combination (pinned by the property tests for
+    all registered schemes).
+    """
+
+    #: Registered name; set by :meth:`RedundancySchemeRegistry.register`.
+    scheme_name: str = "?"
+    #: ``"pattern"`` (full copies) or ``"parity"`` (erasure-coded).
+    kind: str = "pattern"
+
+    # Set by concrete ``__init__``s:
+    context: CommunicationContext
+    partition: BlockRowPartition
+    phi: int
+    racks: RackLayout
+
+    # -- charge model (Sec. 4.2) ------------------------------------------------
+    def round_overhead_times(self, topology: Topology, model: Any,
+                             n_cols: int = 1) -> List[float]:
+        """Per-round redundancy overhead times (one entry per round)."""
+        raise NotImplementedError
+
+    def per_iteration_overhead_time(self, topology: Topology, model: Any,
+                                    n_cols: int = 1) -> float:
+        """Total redundancy overhead per iteration (sum of the round maxima)."""
+        return float(sum(self.round_overhead_times(topology, model,
+                                                   n_cols=n_cols)))
+
+    def overhead_bounds(self, topology: Topology, model: Any,
+                        n_cols: int = 1) -> Tuple[float, float]:
+        """``(lower, upper)`` sandwich around the per-iteration overhead."""
+        raise NotImplementedError
+
+    def extra_traffic_per_iteration(self, n_cols: int = 1) -> Tuple[int, int]:
+        """``(messages, elements)`` of extra redundancy traffic per iteration."""
+        raise NotImplementedError
+
+    # -- storage accounting ------------------------------------------------------
+    def redundant_elements_per_generation(self, n_cols: int = 1) -> int:
+        """Redundant elements stored cluster-wide per retained generation.
+
+        The storage-overhead axis of the scheme frontier
+        (``bench_redundancy_schemes.py``): full copies store the whole held
+        pattern, parity schemes a local snapshot plus ``m`` parity blocks
+        per group.
+        """
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return f"{type(self).__name__}(phi={self.phi})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return self.describe()
+
+
+@dataclass(frozen=True)
+class RegisteredScheme:
+    """A registry entry: the scheme class plus its one-line description."""
+
+    name: str
+    cls: Type[RedundancySchemeBase]
+    description: str = ""
+
+
+class RedundancySchemeRegistry:
+    """Name -> scheme-class mapping with a decorator-based registration API."""
+
+    def __init__(self) -> None:
+        self._schemes: Dict[str, RegisteredScheme] = {}
+
+    def register(self, name: str, description: str = ""
+                 ) -> Callable[[Type[RedundancySchemeBase]],
+                               Type[RedundancySchemeBase]]:
+        """Decorator registering a scheme class under *name* (case-insensitive)."""
+        key = str(name).lower()
+
+        def decorator(cls: Type[RedundancySchemeBase]
+                      ) -> Type[RedundancySchemeBase]:
+            cls.scheme_name = key
+            self._schemes[key] = RegisteredScheme(key, cls, description)
+            return cls
+
+        return decorator
+
+    def names(self) -> Tuple[str, ...]:
+        """The registered scheme names, sorted."""
+        _load_builtin_schemes()
+        return tuple(sorted(self._schemes))
+
+    def get(self, name: str) -> Type[RedundancySchemeBase]:
+        """The scheme class registered under *name* (case-insensitive).
+
+        Raises ``ValueError`` listing every registered name when *name* is
+        unknown (mirroring :class:`repro.core.registry.SolverRegistry`).
+        """
+        _load_builtin_schemes()
+        key = str(name).lower()
+        try:
+            return self._schemes[key].cls
+        except KeyError:
+            raise ValueError(
+                f"unknown redundancy scheme {name!r}; available: "
+                f"{self.names()}"
+            ) from None
+
+
+#: The default registry consulted by :func:`build_redundancy_scheme`.
+REDUNDANCY_SCHEMES = RedundancySchemeRegistry()
+
+#: Register a redundancy scheme in the default registry (decorator).
+register_redundancy_scheme = REDUNDANCY_SCHEMES.register
+
+
+def _load_builtin_schemes() -> None:
+    """Import the built-in scheme modules that live outside this file.
+
+    ``rs_parity`` imports *from* this module (the base class and the
+    registration decorator), so the import happens lazily on first registry
+    access instead of at the bottom of this module.
+    """
+    importlib.import_module(".rs_parity", __package__)
+
+
+#: Anything the configuration surface accepts as a redundancy scheme.
+RedundancySchemeLike = Union[str, RedundancySchemeBase, None]
+
+
+def build_redundancy_scheme(scheme: RedundancySchemeLike,
+                            context: CommunicationContext, phi: int, *,
+                            placement: PlacementLike = BackupPlacement.PAPER,
+                            rng: Optional[RandomState] = None,
+                            rack_size: Optional[int] = None,
+                            options: Optional[Mapping[str, Any]] = None
+                            ) -> RedundancySchemeBase:
+    """Resolve *scheme* (name / instance / ``None``) to a built scheme.
+
+    ``None`` selects the default ``"copies"`` scheme; a registered name is
+    built as ``cls(context, phi, placement=..., rng=..., rack_size=...,
+    **options)``; an already-built instance passes through unchanged
+    (*options* must then be empty).  Scheme-specific *options* (e.g.
+    ``group_size`` for ``"rs_parity"``) the chosen class does not accept
+    raise ``ValueError`` naming the scheme.
+    """
+    options = dict(options) if options else {}
+    if isinstance(scheme, RedundancySchemeBase):
+        if options:
+            raise ValueError(
+                "scheme_options cannot be combined with an already-built "
+                f"redundancy scheme instance (got options {sorted(options)})"
+            )
+        return scheme
+    cls = REDUNDANCY_SCHEMES.get("copies" if scheme is None else scheme)
+    try:
+        return cls(context, phi, placement=placement, rng=rng,
+                   rack_size=rack_size, **options)
+    except TypeError as exc:
+        raise ValueError(
+            f"invalid options for redundancy scheme {cls.scheme_name!r}: "
+            f"{exc}"
+        ) from None
+
+
+@register_redundancy_scheme(
+    "copies",
+    "phi full off-node copies per block (the paper's Sec. 4.1 scheme)")
+class RedundancyScheme(RedundancySchemeBase):
     """Computes and stores the multi-failure redundancy sets of Sec. 4.1."""
 
     def __init__(self, context: CommunicationContext, phi: int, *,
@@ -344,6 +551,15 @@ class RedundancyScheme:
                 if self.context.send_count(owner, target) == 0:
                     messages += 1
         return messages, elements
+
+    def redundant_elements_per_generation(self, n_cols: int = 1) -> int:
+        """Elements snapshotted cluster-wide per generation (the held pattern).
+
+        Every ``(owner, holder)`` pattern entry is stored in full on the
+        holder; block protocols store all ``n_cols`` columns of each entry.
+        """
+        per_entry = sum(int(idx.size) for idx in self._held_pattern.values())
+        return per_entry * int(n_cols)
 
     def describe(self) -> str:
         total = self.total_extra_elements()

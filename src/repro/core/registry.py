@@ -146,7 +146,9 @@ def build_resilient_pcg(problem: "DistributedProblem",
     return ResilientPCG(
         problem.matrix, _require_single_rhs(rhs, "resilient_pcg"),
         preconditioner,
-        phi=res.phi, placement=res.placement, rack_size=res.rack_size,
+        phi=res.phi, scheme=res.scheme,
+        scheme_options=dict(res.scheme_options),
+        placement=res.placement, rack_size=res.rack_size,
         failure_injector=injector,
         local_solver_method=res.local_solver_method,
         local_rtol=res.local_rtol,
@@ -205,7 +207,9 @@ def build_resilient_block_pcg(problem: "DistributedProblem",
     injector = FailureInjector(list(res.failures)) if res.failures else None
     return ResilientBlockPCG(
         problem.matrix, rhs, preconditioner,
-        phi=res.phi, placement=res.placement, rack_size=res.rack_size,
+        phi=res.phi, scheme=res.scheme,
+        scheme_options=dict(res.scheme_options),
+        placement=res.placement, rack_size=res.rack_size,
         failure_injector=injector,
         local_solver_method=res.local_solver_method,
         local_rtol=res.local_rtol,

@@ -44,7 +44,7 @@ and ``benchmarks/bench_resilient_block_pcg.py``):
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, Optional, Union
 
 from ..cluster.failure import FailureInjector
 from ..distributed.comm_context import CommunicationContext
@@ -54,7 +54,7 @@ from ..precond.base import Preconditioner, PreconditionerForm
 from ..utils.logging import get_logger
 from .block_pcg import BlockPCG
 from .placement import PlacementLike
-from .redundancy import BackupPlacement
+from .redundancy import BackupPlacement, RedundancySchemeBase
 from .resilient_pcg import EsrResilienceMixin
 
 logger = get_logger("core.resilient_block_pcg")
@@ -73,6 +73,14 @@ class ResilientBlockPCG(EsrResilienceMixin, BlockPCG):
         Number of redundant copies kept per search-direction row block, i.e.
         the maximum number of simultaneous or overlapping node failures the
         solver can tolerate.  Must satisfy ``0 <= phi < N``.
+    scheme:
+        Redundancy scheme: a registered name (``"copies"``, ``"rs_parity"``),
+        a pre-built :class:`~repro.core.redundancy.RedundancySchemeBase`
+        instance, or ``None`` for the default full-copy scheme.
+    scheme_options:
+        Extra constructor keyword arguments for the scheme (e.g.
+        ``{"group_size": 4}`` for ``"rs_parity"``); only valid with a
+        scheme *name*.
     placement:
         Backup-node placement strategy (Eqn. (5) by default).
     failure_injector:
@@ -96,6 +104,8 @@ class ResilientBlockPCG(EsrResilienceMixin, BlockPCG):
                  rhs: DistributedMultiVector,
                  preconditioner: Optional[Preconditioner] = None, *,
                  phi: int = 1,
+                 scheme: Union[str, RedundancySchemeBase, None] = None,
+                 scheme_options: Optional[Dict[str, Any]] = None,
                  placement: PlacementLike = BackupPlacement.PAPER,
                  rack_size: Optional[int] = None,
                  failure_injector: Optional[FailureInjector] = None,
@@ -117,6 +127,7 @@ class ResilientBlockPCG(EsrResilienceMixin, BlockPCG):
             local_solver_method=local_solver_method, local_rtol=local_rtol,
             reconstruction_form=reconstruction_form,
             n_cols=self.n_cols, rack_size=rack_size,
+            scheme=scheme, scheme_options=scheme_options,
         )
     # ``solve`` comes from EsrResilienceMixin: the BlockPCG loop plus the
     # resilience metadata decoration, shared verbatim with ResilientPCG.

@@ -28,7 +28,7 @@ recurrence coefficient (scalar vs. ``(k,)`` vector) differ.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Any, Dict, List, Optional, Union
 
 from .. import sanitizer as _sanitizer
 from ..cluster.errors import UnrecoverableStateError
@@ -42,7 +42,11 @@ from .esr import ESRProtocol
 from .pcg import DistributedPCG
 from .placement import PlacementLike, resolve_placement
 from .reconstruction import ESRReconstructor, RecoveryReport
-from .redundancy import BackupPlacement, RedundancyScheme
+from .redundancy import (
+    BackupPlacement,
+    RedundancySchemeBase,
+    build_redundancy_scheme,
+)
 
 logger = get_logger("core.resilient_pcg")
 
@@ -65,7 +69,11 @@ class EsrResilienceMixin:
                          local_solver_method: str, local_rtol: float,
                          reconstruction_form: Optional[PreconditionerForm],
                          n_cols: Optional[int] = None,
-                         rack_size: Optional[int] = None) -> None:
+                         rack_size: Optional[int] = None,
+                         scheme: Union[str, RedundancySchemeBase,
+                                       None] = None,
+                         scheme_options: Optional[Dict[str, Any]] = None
+                         ) -> None:
         if phi < 0:
             raise ValueError(f"phi must be non-negative, got {phi}")
         if failure_injector is not None:
@@ -78,9 +86,10 @@ class EsrResilienceMixin:
                 )
         self.phi = int(phi)
         self.placement = resolve_placement(placement)
-        self.scheme = RedundancyScheme(self.context, self.phi,
-                                       placement=self.placement,
-                                       rack_size=rack_size)
+        self.scheme = build_redundancy_scheme(scheme, self.context, self.phi,
+                                              placement=self.placement,
+                                              rack_size=rack_size,
+                                              options=scheme_options)
         # Handing the matrix to the protocol lets the fused redundancy
         # staging reuse the SpMV engine's already-staged send pool (single-
         # vector or batched) each iteration instead of re-gathering the
@@ -173,6 +182,7 @@ class EsrResilienceMixin:
         result = super().solve(x0)
         result.info["phi"] = self.phi
         result.info["placement"] = self.placement.value
+        result.info["scheme"] = self.scheme.scheme_name
         result.info["redundancy"] = self.esr.overhead_summary()
         return result
 
@@ -189,6 +199,14 @@ class ResilientPCG(EsrResilienceMixin, DistributedPCG):
         Number of redundant copies kept per search-direction block, i.e. the
         maximum number of simultaneous or overlapping node failures the
         solver can tolerate.  Must satisfy ``0 <= phi < N``.
+    scheme:
+        Redundancy scheme: a registered name (``"copies"``, ``"rs_parity"``),
+        a pre-built :class:`~repro.core.redundancy.RedundancySchemeBase`
+        instance, or ``None`` for the default full-copy scheme.
+    scheme_options:
+        Extra constructor keyword arguments for the scheme (e.g.
+        ``{"group_size": 4}`` for ``"rs_parity"``); only valid with a
+        scheme *name*.
     placement:
         Backup-node placement strategy (Eqn. (5) by default).
     failure_injector:
@@ -206,6 +224,8 @@ class ResilientPCG(EsrResilienceMixin, DistributedPCG):
     def __init__(self, matrix: DistributedMatrix, rhs: DistributedVector,
                  preconditioner: Optional[Preconditioner] = None, *,
                  phi: int = 1,
+                 scheme: Union[str, RedundancySchemeBase, None] = None,
+                 scheme_options: Optional[Dict[str, Any]] = None,
                  placement: PlacementLike = BackupPlacement.PAPER,
                  rack_size: Optional[int] = None,
                  failure_injector: Optional[FailureInjector] = None,
@@ -224,4 +244,5 @@ class ResilientPCG(EsrResilienceMixin, DistributedPCG):
             phi=phi, placement=placement, failure_injector=failure_injector,
             local_solver_method=local_solver_method, local_rtol=local_rtol,
             reconstruction_form=reconstruction_form, rack_size=rack_size,
+            scheme=scheme, scheme_options=scheme_options,
         )

@@ -37,10 +37,11 @@ import numpy as np
 from ..cluster.failure import FailureEvent
 from ..precond.base import Preconditioner, PreconditionerForm
 from .placement import normalize_placement, placement_name
-from .redundancy import BackupPlacement
+from .redundancy import REDUNDANCY_SCHEMES, BackupPlacement
 
 #: Spec fields routed to :class:`ResilienceSpec` by ``SolveSpec.with_overrides``.
-_RESILIENCE_FIELDS = ("phi", "placement", "rack_size", "failures",
+_RESILIENCE_FIELDS = ("phi", "scheme", "scheme_options", "placement",
+                      "rack_size", "failures",
                       "local_solver_method", "local_rtol",
                       "reconstruction_form")
 #: Spec fields routed to :class:`BlockSpec` by ``SolveSpec.with_overrides``.
@@ -101,6 +102,15 @@ class ResilienceSpec:
     #: Redundant copies kept per search-direction block (max. simultaneous
     #: failures survived); ``0 <= phi < N``.
     phi: int = 1
+    #: Redundancy scheme: any name registered in
+    #: :data:`repro.core.redundancy.REDUNDANCY_SCHEMES` (``"copies"`` --
+    #: the paper's phi full off-node copies -- or ``"rs_parity"``:
+    #: Reed-Solomon parity stripes tolerating the same ``phi`` in-group
+    #: failures at ``phi/g`` storage overhead).
+    scheme: str = "copies"
+    #: Keyword arguments for the scheme constructor (e.g. ``group_size``
+    #: for ``"rs_parity"``); mirrors ``SolveSpec.preconditioner_options``.
+    scheme_options: Dict[str, Any] = field(default_factory=dict)
     #: Backup-node placement strategy (Eqn. (5) of the paper by default):
     #: a :class:`BackupPlacement` member or any name registered in
     #: :data:`repro.core.placement.PLACEMENTS` (e.g. ``"copyset"``,
@@ -126,6 +136,11 @@ class ResilienceSpec:
         if int(self.phi) < 0:
             raise ValueError(f"phi must be non-negative, got {self.phi}")
         object.__setattr__(self, "phi", int(self.phi))
+        # Registered-name validation + canonical lower-case spelling;
+        # ``get`` raises a ValueError listing the registered schemes.
+        scheme_cls = REDUNDANCY_SCHEMES.get(str(self.scheme))
+        object.__setattr__(self, "scheme", scheme_cls.scheme_name)
+        object.__setattr__(self, "scheme_options", dict(self.scheme_options))
         if not isinstance(self.placement, BackupPlacement):
             # Registered-name validation + canonical spelling (enum member
             # for the three historical strategies, lower-case name string
@@ -151,6 +166,8 @@ class ResilienceSpec:
         """Plain JSON-serializable dictionary (see :meth:`from_dict`)."""
         return {
             "phi": self.phi,
+            "scheme": self.scheme,
+            "scheme_options": dict(self.scheme_options),
             "placement": placement_name(self.placement),
             "rack_size": self.rack_size,
             "failures": [_event_to_dict(e) for e in self.failures],
@@ -272,7 +289,8 @@ class SolveSpec:
 
         Top-level :class:`SolveSpec` field names override directly;
         :class:`ResilienceSpec` / :class:`BlockSpec` field names (``phi``,
-        ``placement``, ``failures``, ``local_solver_method``, ``local_rtol``,
+        ``scheme``, ``scheme_options``, ``placement``, ``failures``,
+        ``local_solver_method``, ``local_rtol``,
         ``reconstruction_form`` / ``n_cols``, ``fuse_reductions``) are routed
         into the corresponding extension, creating it with defaults if absent.
         Unknown names raise ``ValueError``.

@@ -22,7 +22,8 @@ class RegisteredNameCoverageRule(Rule):
     Walks the scanned tree for ``@register_solver("name")`` /
     ``@register_preconditioner("name", ...)`` /
     ``@register_placement("name", ...)`` /
-    ``@register_batching_policy("name", ...)`` registrations and requires
+    ``@register_batching_policy("name", ...)`` /
+    ``@register_redundancy_scheme("name", ...)`` registrations and requires
     each registered name to appear as a string literal somewhere in the
     test suite -- which, given the spec round-trip tests parametrise over
     the registered names, means a name that never shows up in ``tests/``
@@ -35,7 +36,8 @@ class RegisteredNameCoverageRule(Rule):
 
     _DECORATORS = frozenset({"register_solver", "register_preconditioner",
                              "register_placement",
-                             "register_batching_policy"})
+                             "register_batching_policy",
+                             "register_redundancy_scheme"})
 
     def check_project(self, project: Project) -> Iterator[Violation]:
         registrations = self._registrations(project)

@@ -94,6 +94,7 @@ REGISTERED_PRECONDITIONER_NAMES = [
     "block_jacobi", "block_jacobi_ic", "block_jacobi_ilu", "identity",
     "jacobi", "none", "split_ic0", "ssor",
 ]
+REGISTERED_REDUNDANCY_SCHEME_NAMES = ["copies", "rs_parity"]
 
 
 class TestRegistryRoundTrip:
@@ -127,6 +128,29 @@ class TestRegistryRoundTrip:
         preconditioner = make_preconditioner(name)
         assert not preconditioner.is_set_up
 
+    def test_pinned_redundancy_scheme_names_match_registry(self):
+        from repro.core.redundancy import REDUNDANCY_SCHEMES
+        assert sorted(REDUNDANCY_SCHEMES.names()) == \
+            REGISTERED_REDUNDANCY_SCHEME_NAMES
+
+    @pytest.mark.parametrize("name", REGISTERED_REDUNDANCY_SCHEME_NAMES)
+    def test_registered_redundancy_scheme_round_trips(self, name):
+        spec = SolveSpec(solver="resilient_pcg",
+                         resilience=ResilienceSpec(scheme=name))
+        rebuilt = SolveSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt == spec
+        assert rebuilt.resilience.scheme == name
+
+    def test_scheme_name_normalised_to_registry_case(self):
+        spec = ResilienceSpec(scheme="RS_Parity",
+                              scheme_options={"group_size": 3})
+        assert spec.scheme == "rs_parity"
+        assert spec.scheme_options == {"group_size": 3}
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="redundancy scheme"):
+            ResilienceSpec(scheme="raid6")
+
 
 class TestRoundTrip:
     def full_spec(self):
@@ -136,6 +160,7 @@ class TestRoundTrip:
             preconditioner="ssor", preconditioner_options={"omega": 1.3},
             resilience=ResilienceSpec(
                 phi=3, placement=BackupPlacement.NEXT_RANKS,
+                scheme="rs_parity", scheme_options={"group_size": 3},
                 failures=[FailureEvent(20, (2, 3), label="outage"),
                           FailureEvent(20, (5,), during_recovery_of=0)],
                 local_solver_method="direct", local_rtol=1e-12,

@@ -7,7 +7,13 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.cluster import MachineModel, VirtualCluster
-from repro.core.redundancy import BackupPlacement, RedundancyScheme, backup_targets
+from repro.core.redundancy import (
+    REDUNDANCY_SCHEMES,
+    BackupPlacement,
+    RedundancyScheme,
+    backup_targets,
+    build_redundancy_scheme,
+)
 from repro.distributed import (
     BlockRowPartition,
     CommunicationContext,
@@ -105,6 +111,45 @@ def test_redundancy_invariant_random_patterns(n, n_nodes, density, phi, seed):
     lower, upper = scheme.overhead_bounds(cluster.topology, cluster.machine)
     total = scheme.per_iteration_overhead_time(cluster.topology, cluster.machine)
     assert lower - 1e-15 <= total <= upper + 1e-15
+
+
+@COMMON_SETTINGS
+@given(n=st.integers(24, 160), n_nodes=st.integers(2, 8),
+       density=st.floats(0.005, 0.15), phi=st.integers(0, 3),
+       n_cols=st.sampled_from([1, 4]),
+       placement=st.sampled_from([BackupPlacement.PAPER,
+                                  BackupPlacement.NEXT_RANKS,
+                                  BackupPlacement.RANDOM]),
+       scheme_name=st.sampled_from(sorted(REDUNDANCY_SCHEMES.names())),
+       seed=st.integers(0, 10**6))
+def test_every_registered_scheme_respects_sandwich_bounds(
+        n, n_nodes, density, phi, n_cols, placement, scheme_name, seed):
+    """Sec. 4.2 sandwich for EVERY registered scheme x placement x width.
+
+    ``lower <= per_iteration_overhead_time <= upper`` must hold for all
+    registered redundancy schemes across placements, ``phi``, column counts,
+    and non-uniform partitions (``n`` not divisible by ``n_nodes``) -- the
+    charge-model obligation every scheme registration signs up for.
+    """
+    n_nodes = min(n_nodes, n)
+    phi = min(phi, n_nodes - 1)
+    matrix = random_spd(n, density, seed)
+    cluster = VirtualCluster(n_nodes, machine=MachineModel(jitter_rel_std=0.0))
+    partition = BlockRowPartition(n, n_nodes)
+    dist = DistributedMatrix.from_global(cluster, partition, "A", matrix)
+    context = CommunicationContext.from_matrix(dist)
+    scheme = build_redundancy_scheme(scheme_name, context, phi,
+                                     placement=placement,
+                                     rng=np.random.default_rng(seed))
+    assert scheme.verify_invariant()
+    lower, upper = scheme.overhead_bounds(cluster.topology, cluster.machine,
+                                          n_cols=n_cols)
+    total = scheme.per_iteration_overhead_time(cluster.topology,
+                                               cluster.machine, n_cols=n_cols)
+    assert lower - 1e-15 <= total <= upper + 1e-15
+    messages, elements = scheme.extra_traffic_per_iteration(n_cols=n_cols)
+    assert messages >= 0 and elements >= 0
+    assert scheme.redundant_elements_per_generation(n_cols=n_cols) >= 0
 
 
 @COMMON_SETTINGS
